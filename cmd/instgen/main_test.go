@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestAllFamiliesProduceValidInstances round-trips every family through
+// the JSON encoder and the instance validator.
+func TestAllFamiliesProduceValidInstances(t *testing.T) {
+	families := []string{
+		"flexible", "interval", "unit", "clique", "proper", "laminar",
+		"fig1", "fig3", "fig6", "fig8", "fig9", "fig10", "lp-gap",
+	}
+	for _, fam := range families {
+		var buf bytes.Buffer
+		if err := run([]string{"-family", fam, "-g", "4", "-eps", "20", "-epsp", "8"}, &buf); err != nil {
+			t.Fatalf("%s: %v", fam, err)
+		}
+		in, err := core.ReadInstance(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", fam, err)
+		}
+		if len(in.Jobs) == 0 {
+			t.Errorf("%s: no jobs", fam)
+		}
+	}
+}
+
+func TestUnknownFamily(t *testing.T) {
+	if err := run([]string{"-family", "bogus"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown family accepted")
+	}
+}
+
+func TestGadgetParameterValidation(t *testing.T) {
+	// fig3 needs g >= 3; fig6 needs even eps < unit/2.
+	if err := run([]string{"-family", "fig3", "-g", "2"}, &bytes.Buffer{}); err == nil {
+		t.Error("fig3 with g=2 accepted")
+	}
+	if err := run([]string{"-family", "fig6", "-g", "3", "-eps", "999"}, &bytes.Buffer{}); err == nil {
+		t.Error("fig6 with eps >= unit/2 accepted")
+	}
+}
+
+func TestDeterministicOutput(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-family", "interval", "-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-family", "interval", "-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same seed produced different instances")
+	}
+	var c bytes.Buffer
+	if err := run([]string{"-family", "interval", "-seed", "6"}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(a.String()) == strings.TrimSpace(c.String()) {
+		t.Error("different seeds produced identical instances")
+	}
+}

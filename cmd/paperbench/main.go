@@ -1,0 +1,48 @@
+// Command paperbench regenerates every experiment table of the
+// reproduction (E1-E14, one per figure/claim of the paper; see DESIGN.md).
+//
+// Usage:
+//
+//	paperbench [-quick] [-only E5] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "paperbench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "run reduced sweeps")
+	only := fs.String("only", "", "run a single experiment by ID (e.g. E5)")
+	seed := fs.Int64("seed", 7, "random seed for workload generation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *only != "" {
+		r, ok := experiments.ByID(*only)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q", *only)
+		}
+		tab, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		tab.Render(stdout)
+		return nil
+	}
+	return experiments.RunAll(cfg, stdout)
+}

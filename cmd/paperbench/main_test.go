@@ -1,0 +1,39 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "E3") || !strings.Contains(out, "paper gap") {
+		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-only", "E99"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "11"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1 —", "E7 —", "E14 —", "E15 —"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("output missing %s", id)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Jessica Chang, Samir Khuller, Koyel Mukherjee:
+//	"LP Rounding and Combinatorial Algorithms for Minimizing Active and
+//	Busy Time", SPAA 2014 (full version arXiv:1610.08154).
+//
+// The library implements every algorithm of the paper (minimal-feasible and
+// LP-rounding active-time scheduling, GreedyTracking and the interval-job
+// 2-approximation for busy time, the preemptive exact and 2-approximate
+// algorithms), every substrate the paper depends on (max-flow feasibility
+// oracle, a simplex LP solver, span minimization, exact baselines), every
+// gadget family behind the paper's figures, and an experiment harness that
+// regenerates each figure-level claim. See DESIGN.md for the inventory and
+// EXPERIMENTS.md for the paper-vs-measured record.
+package repro

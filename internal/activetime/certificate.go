@@ -1,0 +1,246 @@
+package activetime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/intervals"
+)
+
+// Theorem1Certificate is an executable version of the proof of Theorem 1:
+// given a minimal feasible solution it materializes the σ' transformation
+// of Lemma 1 (every non-full slot hosts a non-full-rigid job) and the
+// witness set J* of Lemma 2, yielding the charging
+//
+//	cost = |A_full| + |A_nonfull| <= ceil(mass/g) + Σ_{j∈J*} p_j <= 3·OPT,
+//
+// where J* splits into two sets of pairwise-disjoint windows, each of mass
+// at most OPT. Tests check every structural property on random minimal
+// solutions, turning the paper's proof into an invariant suite.
+type Theorem1Certificate struct {
+	// FullSlots and NonFullSlots partition the active slots of σ'.
+	FullSlots, NonFullSlots []core.Time
+	// Witness is the minimal set J* of non-full-rigid jobs: it covers every
+	// non-full slot, no window contains another, and at most two windows
+	// overlap anywhere.
+	Witness []core.Job
+	// MassBound = ceil(mass/g) bounds |FullSlots|; WitnessMass = Σ p_j over
+	// J* bounds |NonFullSlots|.
+	MassBound   core.Time
+	WitnessMass core.Time
+}
+
+// BuildTheorem1Certificate transforms a minimal feasible schedule per
+// Lemma 1 (moving units out of non-full slots until each hosts a
+// non-full-rigid job; if a slot empties the solution was not minimal and an
+// error is returned) and extracts the Lemma 2 witness set. The schedule is
+// modified in place to σ'.
+func BuildTheorem1Certificate(in *core.Instance, sched *core.ActiveSchedule) (*Theorem1Certificate, error) {
+	if err := core.VerifyActive(in, sched); err != nil {
+		return nil, err
+	}
+	if err := lemma1Transform(in, sched); err != nil {
+		return nil, err
+	}
+	full, nonFull := splitByLoad(in, sched)
+	witness := lemma2Witness(in, sched, nonFull)
+	cert := &Theorem1Certificate{
+		FullSlots:    full,
+		NonFullSlots: nonFull,
+		Witness:      witness,
+		MassBound:    (in.TotalLength() + core.Time(in.G) - 1) / core.Time(in.G),
+	}
+	for _, j := range witness {
+		cert.WitnessMass += j.Length
+	}
+	return cert, cert.check(in, sched)
+}
+
+// check validates every property the proof relies on.
+func (c *Theorem1Certificate) check(in *core.Instance, sched *core.ActiveSchedule) error {
+	if got := core.Time(len(c.FullSlots)); got > c.MassBound {
+		return fmt.Errorf("activetime: %d full slots exceed mass bound %d", got, c.MassBound)
+	}
+	if got := core.Time(len(c.NonFullSlots)); got > c.WitnessMass {
+		return fmt.Errorf("activetime: %d non-full slots exceed witness mass %d", got, c.WitnessMass)
+	}
+	if overlap := intervals.MaxLiveOverlap(c.Witness); overlap > 2 {
+		return fmt.Errorf("activetime: %d witness windows overlap (Lemma 2 allows 2)", overlap)
+	}
+	// Every non-full slot is covered by a witness job scheduled in it.
+	bySlot := make(map[core.Time]bool)
+	for _, j := range c.Witness {
+		for _, t := range sched.Assign[j.ID] {
+			bySlot[t] = true
+		}
+	}
+	for _, t := range c.NonFullSlots {
+		if !bySlot[t] {
+			return fmt.Errorf("activetime: non-full slot %d not covered by witness", t)
+		}
+	}
+	return nil
+}
+
+// TwoTrackSplit partitions the witness into the two disjoint-window job
+// sets J1, J2 of the Theorem 1 charging (possible because at most two
+// witness windows overlap anywhere and no window contains another).
+func (c *Theorem1Certificate) TwoTrackSplit() (j1, j2 []core.Job) {
+	for i, j := range c.Witness {
+		if i%2 == 0 {
+			j1 = append(j1, j)
+		} else {
+			j2 = append(j2, j)
+		}
+	}
+	return j1, j2
+}
+
+// lemma1Transform implements the movement process of Lemma 1: while some
+// non-full slot hosts no non-full-rigid job, move a unit out of it to
+// another live, active, non-full slot. Minimality guarantees the slot never
+// empties; a budget guards against implementation bugs.
+func lemma1Transform(in *core.Instance, sched *core.ActiveSchedule) error {
+	budget := len(in.Jobs)*len(sched.Open)*4 + 64
+	for {
+		_, nonFull := splitByLoad(in, sched)
+		slot := firstUnanchoredSlot(in, sched, nonFull)
+		if slot == 0 {
+			return nil
+		}
+		if budget == 0 {
+			return fmt.Errorf("activetime: Lemma 1 transform did not converge")
+		}
+		budget--
+		if !moveUnitOut(in, sched, slot) {
+			// No job in the slot can move, yet none is non-full-rigid:
+			// impossible for a feasible schedule (every stuck job is by
+			// definition non-full-rigid).
+			return fmt.Errorf("activetime: slot %d stuck without a non-full-rigid job (bug)", slot)
+		}
+		if len(jobsInSlot(sched, slot)) == 0 {
+			return fmt.Errorf("activetime: slot %d emptied; input was not minimal feasible", slot)
+		}
+	}
+}
+
+// splitByLoad partitions open slots into full (load == g) and non-full.
+func splitByLoad(in *core.Instance, sched *core.ActiveSchedule) (full, nonFull []core.Time) {
+	load := sched.Load()
+	for _, t := range sched.Open {
+		if load[t] >= in.G {
+			full = append(full, t)
+		} else {
+			nonFull = append(nonFull, t)
+		}
+	}
+	return full, nonFull
+}
+
+// isNonFullRigid reports whether job j occupies every non-full open slot of
+// its window (Definition 5).
+func isNonFullRigid(in *core.Instance, sched *core.ActiveSchedule, j core.Job, nonFullSet map[core.Time]bool) bool {
+	assigned := make(map[core.Time]bool, len(sched.Assign[j.ID]))
+	for _, t := range sched.Assign[j.ID] {
+		assigned[t] = true
+	}
+	for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+		if nonFullSet[t] && !assigned[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstUnanchoredSlot returns the earliest non-full slot hosting no
+// non-full-rigid job, or 0 if none.
+func firstUnanchoredSlot(in *core.Instance, sched *core.ActiveSchedule, nonFull []core.Time) core.Time {
+	nonFullSet := make(map[core.Time]bool, len(nonFull))
+	for _, t := range nonFull {
+		nonFullSet[t] = true
+	}
+	for _, t := range nonFull {
+		anchored := false
+		for _, id := range jobsInSlot(sched, t) {
+			j, _ := in.JobByID(id)
+			if isNonFullRigid(in, sched, j, nonFullSet) {
+				anchored = true
+				break
+			}
+		}
+		if !anchored {
+			return t
+		}
+	}
+	return 0
+}
+
+func jobsInSlot(sched *core.ActiveSchedule, t core.Time) []int {
+	var out []int
+	for id, slots := range sched.Assign {
+		for _, u := range slots {
+			if u == t {
+				out = append(out, id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// moveUnitOut moves one unit out of slot s to another live, open, non-full
+// slot where the job is not already scheduled. Returns false if no job in s
+// can move.
+func moveUnitOut(in *core.Instance, sched *core.ActiveSchedule, s core.Time) bool {
+	load := sched.Load()
+	open := sched.OpenSet()
+	for _, id := range jobsInSlot(sched, s) {
+		j, _ := in.JobByID(id)
+		assigned := make(map[core.Time]bool)
+		for _, u := range sched.Assign[id] {
+			assigned[u] = true
+		}
+		for u := j.FirstSlot(); u <= j.LastSlot(); u++ {
+			if u == s || !open[u] || assigned[u] || load[u] >= in.G {
+				continue
+			}
+			// Move the unit from s to u.
+			slots := sched.Assign[id]
+			for k, v := range slots {
+				if v == s {
+					slots[k] = u
+					break
+				}
+			}
+			core.SortSlots(slots)
+			return true
+		}
+	}
+	return false
+}
+
+// lemma2Witness extracts J*: one non-full-rigid job per non-full slot,
+// pruned so that no window contains another and at most two windows overlap
+// anywhere (via the same frontier selection as the Theorem 5 proof, which
+// preserves coverage of the union of windows).
+func lemma2Witness(in *core.Instance, sched *core.ActiveSchedule, nonFull []core.Time) []core.Job {
+	nonFullSet := make(map[core.Time]bool, len(nonFull))
+	for _, t := range nonFull {
+		nonFullSet[t] = true
+	}
+	seen := make(map[int]bool)
+	var rigid []core.Job
+	for _, t := range nonFull {
+		for _, id := range jobsInSlot(sched, t) {
+			if seen[id] {
+				continue
+			}
+			j, _ := in.JobByID(id)
+			if isNonFullRigid(in, sched, j, nonFullSet) {
+				seen[id] = true
+				rigid = append(rigid, j)
+			}
+		}
+	}
+	return intervals.ProperSubset(rigid)
+}

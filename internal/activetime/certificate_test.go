@@ -1,0 +1,110 @@
+package activetime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/intervals"
+)
+
+// TestTheorem1CertificateRandom turns the proof of Theorem 1 into an
+// invariant suite: for random minimal feasible solutions, the Lemma 1
+// transformation succeeds, the Lemma 2 witness has all claimed properties,
+// and the resulting charging bounds the cost by 3*OPT.
+func TestTheorem1CertificateRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1717))
+	built := 0
+	for trial := 0; trial < 80; trial++ {
+		in := randInstance(rng, 6, 9, 3)
+		sched, err := MinimalFeasible(in, MinimalOptions{Shuffle: true, Seed: int64(trial)})
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cert, err := BuildTheorem1Certificate(in, sched)
+		if err != nil {
+			t.Fatalf("trial %d: %v (instance %+v)", trial, err, in)
+		}
+		built++
+		// The transformed schedule must still be valid and same cost.
+		if err := core.VerifyActive(in, sched); err != nil {
+			t.Fatalf("trial %d: sigma' invalid: %v", trial, err)
+		}
+		// Charging: cost = full + nonfull <= massBound + witnessMass.
+		cost := core.Time(len(cert.FullSlots) + len(cert.NonFullSlots))
+		if cost != sched.Cost() {
+			t.Errorf("trial %d: slot partition %d != cost %d", trial, cost, sched.Cost())
+		}
+		if cost > cert.MassBound+cert.WitnessMass {
+			t.Errorf("trial %d: certificate bound broken: %d > %d+%d",
+				trial, cost, cert.MassBound, cert.WitnessMass)
+		}
+		// The two-track split has disjoint windows per side, so each side's
+		// mass lower-bounds OPT.
+		j1, j2 := cert.TwoTrackSplit()
+		for name, side := range map[string][]core.Job{"J1": j1, "J2": j2} {
+			if intervals.MaxLiveOverlap(side) > 1 {
+				t.Errorf("trial %d: %s windows overlap", trial, name)
+			}
+		}
+		// End-to-end: the full Theorem 1 inequality against exact OPT.
+		exact, err := SolveExact(in, ExactOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sched.Cost() > 3*exact.Cost() {
+			t.Errorf("trial %d: minimal %d > 3*OPT %d", trial, sched.Cost(), exact.Cost())
+		}
+		if m := intervals.Mass(j1); m > exact.Cost() && len(j1) > 0 {
+			// Each disjoint side individually lower-bounds OPT.
+			t.Errorf("trial %d: J1 mass %d exceeds OPT %d", trial, m, exact.Cost())
+		}
+	}
+	if built < 20 {
+		t.Fatalf("only %d certificates built; generator too infeasible", built)
+	}
+}
+
+// TestTheorem1CertificateFig3 checks the certificate on the paper's own
+// tight example, where the witness mass is what forces the factor 3.
+func TestTheorem1CertificateFig3(t *testing.T) {
+	for _, g := range []int{3, 5} {
+		gd, err := gen.Fig3(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, err := Assign(gd.Instance, gd.BadOpen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert, err := BuildTheorem1Certificate(gd.Instance, sched)
+		if err != nil {
+			t.Fatalf("g=%d: %v", g, err)
+		}
+		if core.Time(len(cert.NonFullSlots)) > cert.WitnessMass {
+			t.Errorf("g=%d: witness mass %d < non-full slots %d",
+				g, cert.WitnessMass, len(cert.NonFullSlots))
+		}
+		// The two long jobs dominate the witness on this gadget.
+		if cert.WitnessMass < core.Time(g) {
+			t.Errorf("g=%d: witness mass %d suspiciously small", g, cert.WitnessMass)
+		}
+	}
+}
+
+// TestTheorem1CertificateRejectsNonMinimal documents that the certificate
+// construction detects (some) non-minimal inputs: a schedule with a closable
+// slot can empty it during the Lemma 1 moves.
+func TestTheorem1CertificateRejectsInvalid(t *testing.T) {
+	in := &core.Instance{G: 2, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 4, Length: 1},
+	}}
+	bad := &core.ActiveSchedule{Open: []core.Time{1, 2}, Assign: map[int][]core.Time{0: {1, 2}}}
+	if _, err := BuildTheorem1Certificate(in, bad); err == nil {
+		t.Error("schedule over-assigning a unit job was accepted")
+	}
+}

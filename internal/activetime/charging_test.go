@@ -1,0 +1,71 @@
+package activetime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestChargingLedgerRandom materializes the Section 3.2-3.4 charging for
+// rounded solutions of random instances: every opened slot must find a
+// charge (Lemma 6) and every charging group must stay within twice its LP
+// mass.
+func TestChargingLedgerRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(31415))
+	built := 0
+	kinds := map[ChargeKind]int{}
+	for trial := 0; trial < 60; trial++ {
+		in := randInstance(rng, 6, 9, 3)
+		lpres, err := SolveLP(in)
+		if err == ErrInfeasible {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := roundWithLP(in, lpres)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		led, err := BuildChargingLedger(in, lpres, res.Schedule.Open)
+		if err != nil {
+			t.Fatalf("trial %d: %v (instance %+v)", trial, err, in)
+		}
+		if len(led.Charges) != res.Opened {
+			t.Errorf("trial %d: ledger has %d charges for %d opened slots",
+				trial, len(led.Charges), res.Opened)
+		}
+		for k, v := range led.Counts() {
+			kinds[k] += v
+		}
+		built++
+	}
+	if built < 20 {
+		t.Fatalf("only %d ledgers built", built)
+	}
+	t.Logf("charge kinds over %d instances: %v", built, kinds)
+}
+
+// TestChargingLedgerGapGadget exercises the ledger where the LP is
+// maximally fractional (the integrality-gap construction).
+func TestChargingLedgerGapGadget(t *testing.T) {
+	for _, g := range []int{2, 3, 4} {
+		in := gen.IntegralityGap(g)
+		lpres, err := SolveLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := roundWithLP(in, lpres)
+		if err != nil {
+			t.Fatal(err)
+		}
+		led, err := BuildChargingLedger(in, lpres, res.Schedule.Open)
+		if err != nil {
+			t.Fatalf("g=%d: %v", g, err)
+		}
+		if len(led.Charges) != res.Opened {
+			t.Errorf("g=%d: %d charges for %d opened", g, len(led.Charges), res.Opened)
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package activetime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExactOptions bounds the exact search.
+type ExactOptions struct {
+	// MaxNodes caps the number of branch-and-bound nodes explored
+	// (default 5e6). The search returns an error when exceeded.
+	MaxNodes int64
+}
+
+// SolveExact computes an optimal active-time schedule by branch and bound
+// over slot open/close decisions. It is an exact baseline intended for small
+// instances (the experiments use it to measure approximation ratios); the
+// paper conjectures the problem is NP-hard, so exponential worst-case time
+// is expected.
+//
+// Search design: slots are decided right to left, trying "closed" before
+// "open" so cheap solutions surface early; a state is pruned when the jobs
+// no longer fit even with every undecided slot open (max-flow check), or
+// when the committed open count cannot beat the incumbent. The incumbent is
+// warm-started with a minimal feasible solution (Theorem 1), and the LP
+// optimum rounded up provides a global lower bound for early exit.
+func SolveExact(in *core.Instance, opts ExactOptions) (*core.ActiveSchedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 5_000_000
+	}
+	slots := AllSlots(in)
+	if !CheckFeasible(in, slots) {
+		return nil, ErrInfeasible
+	}
+	// Warm start.
+	warm, err := MinimalFeasible(in, MinimalOptions{Strategy: CloseRightToLeft})
+	if err != nil {
+		return nil, err
+	}
+	best := warm.Open
+	// Global lower bounds: mass bound and LP bound.
+	massLB := int((in.TotalLength() + int64(in.G) - 1) / int64(in.G))
+	lb := massLB
+	if lpres, lperr := SolveLP(in); lperr == nil {
+		if l := int(lpres.Objective - 1e-6 + 0.999999); l > lb {
+			lb = l
+		}
+	}
+	if len(best) <= lb {
+		return Assign(in, best)
+	}
+	s := &exactSearch{in: in, slots: slots, best: append([]core.Time(nil), best...), lb: lb, maxNodes: maxNodes}
+	// Decide from the rightmost slot down.
+	s.dfs(len(slots)-1, nil)
+	if s.nodesExceeded {
+		return nil, fmt.Errorf("activetime: exact search exceeded %d nodes", maxNodes)
+	}
+	return Assign(in, s.best)
+}
+
+type exactSearch struct {
+	in            *core.Instance
+	slots         []core.Time
+	best          []core.Time
+	lb            int
+	nodes         int64
+	maxNodes      int64
+	nodesExceeded bool
+}
+
+// dfs decides slots[idx]; committedOpen holds slots already opened among
+// indices greater than idx.
+func (s *exactSearch) dfs(idx int, committedOpen []core.Time) {
+	if s.nodesExceeded || len(s.best) <= s.lb {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.nodesExceeded = true
+		return
+	}
+	if len(committedOpen) >= len(s.best) {
+		return // cannot improve
+	}
+	// Feasibility with all undecided slots open.
+	avail := make([]core.Time, 0, len(committedOpen)+idx+1)
+	avail = append(avail, committedOpen...)
+	avail = append(avail, s.slots[:idx+1]...)
+	if !CheckFeasible(s.in, avail) {
+		return
+	}
+	if idx < 0 {
+		// All decided and feasible: committedOpen is a full solution.
+		if len(committedOpen) < len(s.best) {
+			s.best = append([]core.Time(nil), committedOpen...)
+		}
+		return
+	}
+	// Try closing slots[idx] first.
+	s.dfs(idx-1, committedOpen)
+	// Then opening it.
+	s.dfs(idx-1, append(committedOpen, s.slots[idx]))
+}

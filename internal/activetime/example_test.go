@@ -1,0 +1,58 @@
+package activetime_test
+
+import (
+	"fmt"
+
+	"repro/internal/activetime"
+	"repro/internal/core"
+)
+
+// ExampleMinimalFeasible computes a Theorem 1 minimal feasible schedule.
+func ExampleMinimalFeasible() {
+	in := &core.Instance{G: 2, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 4, Length: 2},
+		{ID: 1, Release: 0, Deadline: 4, Length: 2},
+	}}
+	sched, err := activetime.MinimalFeasible(in, activetime.MinimalOptions{
+		Strategy: activetime.CloseRightToLeft,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("active slots: %d\n", sched.Cost())
+	// Output: active slots: 2
+}
+
+// ExampleRoundLP runs the Theorem 2 LP-rounding 2-approximation and prints
+// its certificate.
+func ExampleRoundLP() {
+	in := &core.Instance{G: 2, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 3, Length: 2},
+		{ID: 1, Release: 1, Deadline: 4, Length: 2},
+	}}
+	res, err := activetime.RoundLP(in)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("opened %d slots, within 2*LP: %v\n",
+		res.Opened, float64(res.Opened) <= 2*res.LPValue+1e-9)
+	// Output: opened 2 slots, within 2*LP: true
+}
+
+// ExampleSolveUnitExact solves a unit-job instance optimally.
+func ExampleSolveUnitExact() {
+	in := &core.Instance{G: 3, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 5, Length: 1},
+		{ID: 1, Release: 0, Deadline: 5, Length: 1},
+		{ID: 2, Release: 2, Deadline: 3, Length: 1},
+	}}
+	sched, err := activetime.SolveUnitExact(in)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("optimal active time: %d\n", sched.Cost())
+	// Output: optimal active time: 1
+}

@@ -1,0 +1,166 @@
+package activetime
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/lp"
+)
+
+// LPResult holds the optimal solution of the active-time LP relaxation LP1
+// of Section 3 of the paper.
+type LPResult struct {
+	// Y[t] is the fractional openness of slot t, for t in 1..T (Y[0] is
+	// unused).
+	Y []float64
+	// Objective is sum_t Y[t], a lower bound on the optimal active time.
+	Objective float64
+	// Cuts is the number of Benders cuts generated; Rounds the number of
+	// master solves.
+	Cuts, Rounds int
+}
+
+// SolveLP computes an optimal solution of LP1:
+//
+//	min  Σ_t y_t
+//	s.t. x_{t,j} <= y_t, Σ_j x_{t,j} <= g·y_t, Σ_t x_{t,j} >= p_j,
+//	     0 <= y <= 1, x >= 0, x_{t,j} = 0 outside j's window.
+//
+// Rather than instantiating the T·n assignment variables, it projects the
+// LP onto the y variables: for a fixed y, a feasible fractional x exists iff
+// the max flow of the fractional feasibility network equals P = Σ p_j, and
+// by max-flow/min-cut that holds iff for every job subset A
+//
+//	Σ_t min(g, cov_A(t))·y_t >= Σ_{j∈A} p_j ,
+//
+// where cov_A(t) is the number of jobs of A whose window contains t. SolveLP
+// generates these cuts lazily from minimum cuts (Benders decomposition) and
+// solves the growing master LP with the simplex engine. Each round either
+// proves optimality or adds a previously absent violated cut, so the
+// procedure terminates.
+func SolveLP(in *core.Instance) (*LPResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !CheckFeasible(in, AllSlots(in)) {
+		return nil, ErrInfeasible
+	}
+	T := int(in.Horizon())
+	prob := lp.NewProblem(T) // variable t-1 is y_t
+	for t := 1; t <= T; t++ {
+		prob.SetObjective(t-1, 1)
+		if err := prob.AddSparse([]int{t - 1}, []float64{1}, lp.LE, 1); err != nil {
+			return nil, err
+		}
+	}
+	// Seed cuts: one per job (A = {j} gives Σ_{t∈win} y_t >= p_j).
+	for _, j := range in.Jobs {
+		var cols []int
+		var vals []float64
+		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+			cols = append(cols, int(t)-1)
+			vals = append(vals, 1)
+		}
+		if err := prob.AddSparse(cols, vals, lp.GE, float64(j.Length)); err != nil {
+			return nil, err
+		}
+	}
+	res := &LPResult{Cuts: len(in.Jobs)}
+	maxRounds := 20*T + 200
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds++
+		sol, err := lp.Solve(prob)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, fmt.Errorf("activetime: LP master %v", sol.Status)
+		}
+		y := sol.X
+		A, violated := separate(in, y)
+		if !violated {
+			res.Y = make([]float64, T+1)
+			for t := 1; t <= T; t++ {
+				v := y[t-1]
+				if v < 0 {
+					v = 0
+				}
+				if v > 1 {
+					v = 1
+				}
+				res.Y[t] = v
+			}
+			res.Objective = sol.Objective
+			return res, nil
+		}
+		cols, vals, rhs := cutFor(in, A)
+		if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
+			return nil, err
+		}
+		res.Cuts++
+	}
+	return nil, fmt.Errorf("activetime: LP cut generation did not converge in %d rounds", maxRounds)
+}
+
+// separate solves the fractional feasibility subproblem for y and, if the
+// max flow falls short of P, returns the source-side job set A of a minimum
+// cut.
+func separate(in *core.Instance, y []float64) (A []bool, violated bool) {
+	const eps = 1e-12
+	T := len(y)
+	nJobs := len(in.Jobs)
+	n := flow.NewNetwork[float64](2+nJobs+T, eps)
+	src := 0
+	sink := 1 + nJobs + T
+	slotNode := func(t core.Time) int { return 1 + nJobs + int(t) - 1 }
+	var total float64
+	for t := 1; t <= T; t++ {
+		n.AddEdge(slotNode(core.Time(t)), sink, float64(in.G)*y[t-1])
+	}
+	for i, j := range in.Jobs {
+		n.AddEdge(src, 1+i, float64(j.Length))
+		total += float64(j.Length)
+		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+			n.AddEdge(1+i, slotNode(t), y[t-1])
+		}
+	}
+	got := n.Max(src, sink)
+	if got >= total-1e-6 {
+		return nil, false
+	}
+	side := n.MinCutSource(src)
+	A = make([]bool, nJobs)
+	for i := range in.Jobs {
+		A[i] = side[1+i]
+	}
+	return A, true
+}
+
+// cutFor builds the canonical cut for job subset A:
+// Σ_t min(g, cov_A(t))·y_t >= Σ_{j∈A} p_j.
+func cutFor(in *core.Instance, A []bool) (cols []int, vals []float64, rhs float64) {
+	T := int(in.Horizon())
+	cov := make([]int, T+1)
+	for i, j := range in.Jobs {
+		if !A[i] {
+			continue
+		}
+		rhs += float64(j.Length)
+		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+			cov[t]++
+		}
+	}
+	for t := 1; t <= T; t++ {
+		c := cov[t]
+		if c == 0 {
+			continue
+		}
+		if c > in.G {
+			c = in.G
+		}
+		cols = append(cols, t-1)
+		vals = append(vals, float64(c))
+	}
+	return cols, vals, rhs
+}

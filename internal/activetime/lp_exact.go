@@ -1,0 +1,83 @@
+package activetime
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+// ExactLPResult is the outcome of the exact rational LP solve.
+type ExactLPResult struct {
+	// Objective is the exact optimal value of LP1.
+	Objective *big.Rat
+	// Y[t] is the exact fractional openness of slot t (index 0 unused).
+	Y            []*big.Rat
+	Cuts, Rounds int
+}
+
+// SolveLPExact computes the optimal value of LP1 in exact rational
+// arithmetic: the same Benders cut generation as SolveLP, but with the
+// master solved by the big.Rat simplex. Separation still uses the float
+// max-flow oracle (capacities are converted from the rational master
+// solution), then the final master optimum is exact for the generated cut
+// set; a last float separation confirms no cut is violated beyond
+// tolerance. Intended for small instances and for certifying SolveLP —
+// e.g. it proves the integrality-gap gadget's LP optimum is exactly g+1.
+func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if !CheckFeasible(in, AllSlots(in)) {
+		return nil, ErrInfeasible
+	}
+	T := int(in.Horizon())
+	prob := lp.NewProblem(T)
+	for t := 1; t <= T; t++ {
+		prob.SetObjective(t-1, 1)
+		if err := prob.AddSparse([]int{t - 1}, []float64{1}, lp.LE, 1); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range in.Jobs {
+		var cols []int
+		var vals []float64
+		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+			cols = append(cols, int(t)-1)
+			vals = append(vals, 1)
+		}
+		if err := prob.AddSparse(cols, vals, lp.GE, float64(j.Length)); err != nil {
+			return nil, err
+		}
+	}
+	res := &ExactLPResult{Cuts: len(in.Jobs)}
+	maxRounds := 20*T + 200
+	for round := 0; round < maxRounds; round++ {
+		res.Rounds++
+		sol, err := lp.SolveExact(prob)
+		if err != nil {
+			return nil, err
+		}
+		if sol.Status != lp.Optimal {
+			return nil, fmt.Errorf("activetime: exact LP master %v", sol.Status)
+		}
+		y := sol.Float64s()
+		A, violated := separate(in, y)
+		if !violated {
+			res.Objective = sol.Objective
+			res.Y = make([]*big.Rat, T+1)
+			res.Y[0] = new(big.Rat)
+			for t := 1; t <= T; t++ {
+				res.Y[t] = new(big.Rat).Set(sol.X[t-1])
+			}
+			return res, nil
+		}
+		cols, vals, rhs := cutFor(in, A)
+		if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
+			return nil, err
+		}
+		res.Cuts++
+	}
+	return nil, fmt.Errorf("activetime: exact LP cut generation did not converge in %d rounds", maxRounds)
+}

@@ -1,0 +1,65 @@
+package activetime
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSolveLPExactMatchesFloat cross-checks the rational Benders engine
+// against the float one on random instances.
+func TestSolveLPExactMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(606))
+	checked := 0
+	for trial := 0; trial < 25; trial++ {
+		in := randInstance(rng, 5, 7, 3)
+		if !CheckFeasible(in, AllSlots(in)) {
+			continue
+		}
+		exact, err := SolveLPExact(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		flt, err := SolveLP(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		obj, _ := exact.Objective.Float64()
+		if math.Abs(obj-flt.Objective) > 1e-5 {
+			t.Errorf("trial %d: exact %v != float %v (%+v)", trial, obj, flt.Objective, in)
+		}
+		checked++
+	}
+	if checked < 10 {
+		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+// TestSolveLPExactGapGadget proves the gadget's LP optimum is EXACTLY g+1
+// as a rational number, not merely up to float tolerance.
+func TestSolveLPExactGapGadget(t *testing.T) {
+	for _, g := range []int{2, 3, 4, 5} {
+		in := gen.IntegralityGap(g)
+		res, err := SolveLPExact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := new(big.Rat).SetInt64(int64(g + 1))
+		if res.Objective.Cmp(want) != 0 {
+			t.Errorf("g=%d: exact LP optimum %s, want exactly %d",
+				g, res.Objective.RatString(), g+1)
+		}
+	}
+}
+
+// TestSolveLPExactInfeasible propagates infeasibility.
+func TestSolveLPExactInfeasible(t *testing.T) {
+	in := gen.IntegralityGap(2).Clone()
+	in.G = 1 // 3 unit jobs per 2-slot pair with g=1 is infeasible
+	if _, err := SolveLPExact(in); err != ErrInfeasible {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}

@@ -1,0 +1,144 @@
+package activetime
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// quickInstance derives a deterministic random instance from a seed.
+func quickInstance(seed int64, maxN, maxT, maxG int) *core.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	return randInstance(rng, maxN, maxT, maxG)
+}
+
+// The LP optimum always sits between the mass bound and the number of
+// useful slots, and rounding up never exceeds a minimal feasible cost.
+func TestQuickLPBracketing(t *testing.T) {
+	f := func(seed int64) bool {
+		in := quickInstance(seed, 6, 9, 3)
+		lpres, err := SolveLP(in)
+		if err == ErrInfeasible {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		mass := float64(in.TotalLength()) / float64(in.G)
+		if lpres.Objective < mass-1e-6 {
+			return false
+		}
+		if lpres.Objective > float64(len(AllSlots(in)))+1e-6 {
+			return false
+		}
+		minimal, err := MinimalFeasible(in, MinimalOptions{Strategy: CloseRightToLeft})
+		if err != nil {
+			return false
+		}
+		return float64(minimal.Cost()) >= math.Ceil(lpres.Objective-1e-6)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Rounding always stays within twice the LP and never needs repairs.
+func TestQuickRoundingInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		in := quickInstance(seed, 6, 9, 3)
+		res, err := RoundLP(in)
+		if err == ErrInfeasible {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		if core.VerifyActive(in, res.Schedule) != nil {
+			return false
+		}
+		return float64(res.Opened) <= 2*res.LPValue+1e-6 &&
+			res.Repairs == 0 && !res.InvariantViolated
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Minimality is order-independent as a property: whatever order slots are
+// closed in, the result is minimal and verifies.
+func TestQuickMinimalAlwaysMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		in := quickInstance(seed, 5, 8, 3)
+		sched, err := MinimalFeasible(in, MinimalOptions{Shuffle: true, Seed: seed})
+		if err == ErrInfeasible {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		return core.VerifyActive(in, sched) == nil && IsMinimalFeasible(in, sched.Open)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Feasibility is monotone in the open set: opening extra slots never breaks
+// feasibility.
+func TestQuickFeasibilityMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		in := quickInstance(seed, 6, 9, 3)
+		all := AllSlots(in)
+		if !CheckFeasible(in, all) {
+			return true
+		}
+		sched, err := MinimalFeasible(in, MinimalOptions{})
+		if err != nil {
+			return false
+		}
+		// Superset of a feasible set stays feasible.
+		return CheckFeasible(in, all) && CheckFeasible(in, sched.Open) &&
+			len(sched.Open) <= len(all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The unit-exact solver agrees with the LP lower bound direction: its cost
+// is at least ceil(LP) and at most the minimal feasible cost.
+func TestQuickUnitExactBracketing(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		jobs := make([]core.Job, n)
+		for i := range jobs {
+			r := core.Time(rng.Intn(8))
+			jobs[i] = core.Job{ID: i, Release: r, Deadline: r + 1 + core.Time(rng.Intn(4)), Length: 1}
+		}
+		in := &core.Instance{G: 1 + rng.Intn(3), Jobs: jobs}
+		exact, err := SolveUnitExact(in)
+		if err == ErrInfeasible {
+			return true
+		}
+		if err != nil {
+			return false
+		}
+		minimal, err := MinimalFeasible(in, MinimalOptions{Strategy: CloseLeftToRight})
+		if err != nil {
+			return false
+		}
+		lpres, err := SolveLP(in)
+		if err != nil {
+			return false
+		}
+		return float64(exact.Cost()) >= lpres.Objective-1e-6 &&
+			exact.Cost() <= minimal.Cost()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package busytime implements the busy-time scheduling algorithms of Chang,
+// Khuller and Mukherjee (SPAA 2014), Section 4 and the appendices: jobs are
+// partitioned across an unbounded pool of machines, each machine may run at
+// most g jobs concurrently, and the objective is the total time machines
+// spend busy.
+//
+// Algorithms for interval (rigid) jobs:
+//
+//   - FirstFit      — the 4-approximation baseline of Flammini et al. [5];
+//   - GreedyTracking — the paper's 3-approximation (Theorem 5): repeatedly
+//     extract maximum-length tracks and bundle g of them per machine;
+//   - PairCover     — a 2-approximation charging the demand profile, the
+//     reconstruction of Alicherry-Bhatia [1] / Kumar-Rudra [11]
+//     (Appendix A);
+//   - SolveExactInterval — exact branch-and-bound baseline.
+//
+// Flexible jobs are handled by fixing start times with a span minimizer
+// (the role of Khandekar et al.'s unbounded-g dynamic program [9]) and then
+// running any interval algorithm; see Convert and SolveFlexible. The
+// preemptive variants of Section 4.4 are PreemptiveUnbounded (exact,
+// Theorem 6) and PreemptiveBounded (2-approximation, Theorem 7).
+package busytime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/intervals"
+)
+
+// ErrNotInterval is returned by interval-job algorithms when the instance
+// contains flexible jobs.
+var ErrNotInterval = errors.New("busytime: instance has flexible (non-interval) jobs")
+
+func requireInterval(in *core.Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if !in.AllInterval() {
+		return ErrNotInterval
+	}
+	return nil
+}
+
+// MassBound returns the lower bound ℓ(J)/g of Observation 2, rounded up to
+// the tick grid (any schedule's busy time is at least mass/g; busy times are
+// integral on integral instances).
+func MassBound(in *core.Instance) float64 {
+	return float64(in.TotalLength()) / float64(in.G)
+}
+
+// SpanBound returns the lower bound of Observation 3 for interval jobs:
+// OPT >= Sp(J). For flexible jobs the corresponding bound is the optimal
+// unbounded-g span; see ExactSpanMin.
+func SpanBound(in *core.Instance) core.Time {
+	return intervals.Span(in.Jobs)
+}
+
+// DemandProfileBound returns the demand-profile lower bound of
+// Observation 4 (valid for interval jobs).
+func DemandProfileBound(in *core.Instance) core.Time {
+	return intervals.NewDemandProfile(in.Jobs, in.G).Cost()
+}
+
+// BestLowerBound returns the strongest applicable lower bound for an
+// interval instance.
+func BestLowerBound(in *core.Instance) float64 {
+	lb := MassBound(in)
+	if s := float64(SpanBound(in)); s > lb {
+		lb = s
+	}
+	if d := float64(DemandProfileBound(in)); d > lb {
+		lb = d
+	}
+	return lb
+}
+
+// placeAtRelease turns bundles of interval jobs into a BusySchedule.
+func placeAtRelease(bundles [][]core.Job) *core.BusySchedule {
+	s := &core.BusySchedule{}
+	for _, b := range bundles {
+		if len(b) == 0 {
+			continue
+		}
+		var pls []core.Placement
+		for _, j := range b {
+			pls = append(pls, core.Placement{JobID: j.ID, Start: j.Release})
+		}
+		s.Bundles = append(s.Bundles, core.Bundle{Placements: pls})
+	}
+	return s
+}
+
+// FirstFit is the greedy 4-approximation of Flammini et al. for interval
+// jobs: consider jobs in non-increasing order of length and put each into
+// the first bundle that can still run it without exceeding g concurrent
+// jobs; open a new bundle if none can.
+func FirstFit(in *core.Instance) (*core.BusySchedule, error) {
+	if err := requireInterval(in); err != nil {
+		return nil, err
+	}
+	jobs := make([]core.Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Length != jobs[b].Length {
+			return jobs[a].Length > jobs[b].Length
+		}
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	var bundles [][]core.Job
+	for _, j := range jobs {
+		placed := false
+		for bi := range bundles {
+			if fitsBundle(bundles[bi], j, in.G) {
+				bundles[bi] = append(bundles[bi], j)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bundles = append(bundles, []core.Job{j})
+		}
+	}
+	return placeAtRelease(bundles), nil
+}
+
+// fitsBundle reports whether adding interval job j keeps the bundle's
+// concurrency within g.
+func fitsBundle(bundle []core.Job, j core.Job, g int) bool {
+	w := j.Window()
+	ivs := make([]core.Interval, 0, len(bundle))
+	for _, other := range bundle {
+		if iv := other.Window().Intersect(w); !iv.Empty() {
+			ivs = append(ivs, iv)
+		}
+	}
+	return core.MaxConcurrency(ivs) < g
+}
+
+// GTOptions configures GreedyTracking.
+type GTOptions struct {
+	// Tie controls tie-breaking in maximum-track extraction; the Figure 6
+	// gadget experiment uses TieAdversarial.
+	Tie intervals.TieBreak
+}
+
+// GreedyTracking is the paper's 3-approximation for interval jobs
+// (Algorithm 1 / Theorem 5): repeatedly extract a maximum-length track (a
+// set of pairwise-disjoint jobs) from the remaining jobs and bundle every g
+// consecutive tracks onto one machine.
+func GreedyTracking(in *core.Instance, opts GTOptions) (*core.BusySchedule, error) {
+	if err := requireInterval(in); err != nil {
+		return nil, err
+	}
+	remaining := make([]core.Job, len(in.Jobs))
+	copy(remaining, in.Jobs)
+	var bundles [][]core.Job
+	track := 0
+	for len(remaining) > 0 {
+		tr, _ := intervals.MaxTrack(remaining, opts.Tie)
+		if len(tr) == 0 {
+			return nil, fmt.Errorf("busytime: empty track with %d jobs remaining", len(remaining))
+		}
+		bi := track / in.G
+		if bi == len(bundles) {
+			bundles = append(bundles, nil)
+		}
+		bundles[bi] = append(bundles[bi], tr...)
+		remaining = removeJobs(remaining, tr)
+		track++
+	}
+	return placeAtRelease(bundles), nil
+}
+
+// Tracks returns the tracks extracted by GreedyTracking in extraction order
+// (exposed for experiments and tests).
+func Tracks(in *core.Instance, opts GTOptions) ([][]core.Job, error) {
+	if err := requireInterval(in); err != nil {
+		return nil, err
+	}
+	remaining := make([]core.Job, len(in.Jobs))
+	copy(remaining, in.Jobs)
+	var tracks [][]core.Job
+	for len(remaining) > 0 {
+		tr, _ := intervals.MaxTrack(remaining, opts.Tie)
+		if len(tr) == 0 {
+			break
+		}
+		tracks = append(tracks, tr)
+		remaining = removeJobs(remaining, tr)
+	}
+	return tracks, nil
+}
+
+func removeJobs(jobs, gone []core.Job) []core.Job {
+	drop := make(map[int]bool, len(gone))
+	for _, j := range gone {
+		drop[j.ID] = true
+	}
+	out := jobs[:0]
+	for _, j := range jobs {
+		if !drop[j.ID] {
+			out = append(out, j)
+		}
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package busytime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/intervals"
+)
+
+func randIntervalInstance(rng *rand.Rand, maxN, maxT, maxG int) *core.Instance {
+	n := 1 + rng.Intn(maxN)
+	jobs := make([]core.Job, n)
+	for i := range jobs {
+		r := core.Time(rng.Intn(maxT))
+		p := 1 + core.Time(rng.Intn(maxT/2))
+		jobs[i] = core.Job{ID: i, Release: r, Deadline: r + p, Length: p}
+	}
+	return &core.Instance{G: 1 + rng.Intn(maxG), Jobs: jobs}
+}
+
+func randFlexInstance(rng *rand.Rand, maxN, maxT, maxG int) *core.Instance {
+	n := 1 + rng.Intn(maxN)
+	jobs := make([]core.Job, n)
+	for i := range jobs {
+		r := core.Time(rng.Intn(maxT))
+		p := 1 + core.Time(rng.Intn(4))
+		slack := core.Time(rng.Intn(4))
+		jobs[i] = core.Job{ID: i, Release: r, Deadline: r + p + slack, Length: p}
+	}
+	return &core.Instance{G: 1 + rng.Intn(maxG), Jobs: jobs}
+}
+
+func scheduleCost(t *testing.T, in *core.Instance, s *core.BusySchedule) core.Time {
+	t.Helper()
+	if err := core.VerifyBusy(in, s); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	c, err := s.Cost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFirstFitRejectsFlexible(t *testing.T) {
+	in := &core.Instance{G: 2, Jobs: []core.Job{{ID: 0, Release: 0, Deadline: 5, Length: 2}}}
+	if _, err := FirstFit(in); err != ErrNotInterval {
+		t.Errorf("err = %v, want ErrNotInterval", err)
+	}
+}
+
+func TestFirstFitPacksIdenticalJobs(t *testing.T) {
+	// g identical unit jobs must share one machine.
+	jobs := make([]core.Job, 3)
+	for i := range jobs {
+		jobs[i] = core.Job{ID: i, Release: 0, Deadline: 1, Length: 1}
+	}
+	in := &core.Instance{G: 3, Jobs: jobs}
+	s, err := FirstFit(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scheduleCost(t, in, s); got != 1 {
+		t.Errorf("cost = %d, want 1", got)
+	}
+	if len(s.Bundles) != 1 {
+		t.Errorf("bundles = %d, want 1", len(s.Bundles))
+	}
+}
+
+func TestGreedyTrackingInvariant(t *testing.T) {
+	// Theorem 5 charging: cost <= Sp(J) + 2*mass/g.
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 150; trial++ {
+		in := randIntervalInstance(rng, 12, 20, 4)
+		for _, tie := range []intervals.TieBreak{intervals.TieBenign, intervals.TieAdversarial} {
+			s, err := GreedyTracking(in, GTOptions{Tie: tie})
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			cost := scheduleCost(t, in, s)
+			bound := float64(SpanBound(in)) + 2*MassBound(in)
+			if float64(cost) > bound+1e-9 {
+				t.Errorf("trial %d: GT cost %d > Sp+2*mass/g = %v (instance %+v)",
+					trial, cost, bound, in)
+			}
+		}
+	}
+}
+
+func TestPairCoverInvariant(t *testing.T) {
+	// Appendix A charging: cost <= 2 * demand profile.
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 150; trial++ {
+		in := randIntervalInstance(rng, 12, 20, 4)
+		s, err := PairCover(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v (instance %+v)", trial, err, in)
+		}
+		cost := scheduleCost(t, in, s)
+		if dep := DemandProfileBound(in); cost > 2*dep {
+			t.Errorf("trial %d: PairCover cost %d > 2*DeP %d (instance %+v)",
+				trial, cost, 2*dep, in)
+		}
+	}
+}
+
+func TestExactIntervalAgainstBoundsAndHeuristics(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 60; trial++ {
+		in := randIntervalInstance(rng, 7, 12, 3)
+		exact, err := SolveExactInterval(in, ExactOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		opt := scheduleCost(t, in, exact)
+		if lb := BestLowerBound(in); float64(opt) < lb-1e-9 {
+			t.Errorf("trial %d: exact %d below lower bound %v", trial, opt, lb)
+		}
+		ff, err := FirstFit(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gt, err := GreedyTracking(in, GTOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc, err := PairCover(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffc, gtc, fcc := scheduleCost(t, in, ff), scheduleCost(t, in, gt), scheduleCost(t, in, fc)
+		if ffc < opt || gtc < opt || fcc < opt {
+			t.Errorf("trial %d: heuristic beat exact (ff=%d gt=%d fc=%d exact=%d) %+v",
+				trial, ffc, gtc, fcc, opt, in)
+		}
+		if ffc > 4*opt {
+			t.Errorf("trial %d: FirstFit %d > 4*OPT %d", trial, ffc, 4*opt)
+		}
+		if gtc > 3*opt {
+			t.Errorf("trial %d: GreedyTracking %d > 3*OPT %d", trial, gtc, 3*opt)
+		}
+		if fcc > 2*opt {
+			t.Errorf("trial %d: PairCover %d > 2*OPT %d", trial, fcc, 2*opt)
+		}
+	}
+}
+
+func TestExactFlexibleMatchesExactIntervalOnRigid(t *testing.T) {
+	// Two independent exact searches must agree on interval instances.
+	rng := rand.New(rand.NewSource(24))
+	for trial := 0; trial < 30; trial++ {
+		in := randIntervalInstance(rng, 6, 10, 2)
+		a, err := SolveExactInterval(in, ExactOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		b, err := SolveExactFlexible(in, ExactOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ca, cb := scheduleCost(t, in, a), scheduleCost(t, in, b)
+		if ca != cb {
+			t.Errorf("trial %d: interval exact %d != flexible exact %d (%+v)", trial, ca, cb, in)
+		}
+	}
+}
+
+func TestExactSpanMatchesSingleBundleExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	for trial := 0; trial < 30; trial++ {
+		in := randFlexInstance(rng, 5, 8, 2)
+		_, span, err := ExactSpan{}.MinimizeSpan(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Unbounded-g busy time equals the minimal span.
+		unb := in.Clone()
+		unb.G = len(unb.Jobs)
+		s, err := SolveExactFlexible(unb, ExactOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		cost := scheduleCost(t, unb, s)
+		if cost != span {
+			t.Errorf("trial %d: exact span %d != unbounded busy %d (%+v)", trial, span, cost, in)
+		}
+	}
+}
+
+func TestHeuristicSpanUpperBoundsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	worst := 1.0
+	for trial := 0; trial < 60; trial++ {
+		in := randFlexInstance(rng, 6, 9, 2)
+		_, exact, err := ExactSpan{}.MinimizeSpan(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		starts, heur, err := HeuristicSpan{}.MinimizeSpan(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if heur < exact {
+			t.Errorf("trial %d: heuristic %d beat exact %d (bug in exact)", trial, heur, exact)
+		}
+		for _, j := range in.Jobs {
+			s := starts[j.ID]
+			if s < j.Release || s+j.Length > j.Deadline {
+				t.Errorf("trial %d: heuristic start %d outside window of %v", trial, s, j)
+			}
+		}
+		if r := float64(heur) / float64(exact); r > worst {
+			worst = r
+		}
+	}
+	t.Logf("worst heuristic/exact span ratio observed: %.3f", worst)
+}
+
+func TestSolveFlexiblePipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(27))
+	for trial := 0; trial < 40; trial++ {
+		in := randFlexInstance(rng, 8, 12, 3)
+		conv, span, err := Convert(in, HeuristicSpan{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got := intervals.Span(conv.Jobs); got != span {
+			t.Errorf("trial %d: converted span %d != reported %d", trial, got, span)
+		}
+		for _, algo := range []IntervalAlgorithm{
+			FirstFit,
+			func(i *core.Instance) (*core.BusySchedule, error) {
+				return GreedyTracking(i, GTOptions{})
+			},
+			PairCover,
+		} {
+			s, err := SolveFlexible(in, HeuristicSpan{}, algo)
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			// The schedule must be feasible for the ORIGINAL instance.
+			cost := scheduleCost(t, in, s)
+			if cost < span/2 {
+				t.Errorf("trial %d: suspicious cost %d below half span %d", trial, cost, span)
+			}
+		}
+		// Theorem 5 pipeline invariant with GreedyTracking.
+		gts, err := SolveFlexible(in, HeuristicSpan{}, func(i *core.Instance) (*core.BusySchedule, error) {
+			return GreedyTracking(i, GTOptions{})
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := scheduleCost(t, in, gts)
+		if float64(cost) > float64(span)+2*MassBound(in)+1e-9 {
+			t.Errorf("trial %d: pipeline cost %d > span+2*mass/g", trial, cost)
+		}
+	}
+}
+
+func TestPreemptiveUnboundedExactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(28))
+	for trial := 0; trial < 120; trial++ {
+		in := randFlexInstance(rng, 8, 14, 3)
+		s, err := PreemptiveUnbounded(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v (instance %+v)", trial, err, in)
+		}
+		unb := in.Clone()
+		unb.G = len(unb.Jobs) // verify against unlimited capacity
+		if err := core.VerifyPreemptive(unb, s); err != nil {
+			t.Fatalf("trial %d: invalid schedule: %v (instance %+v)", trial, err, in)
+		}
+		want, err := PreemptiveUnboundedValue(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Cost(); got != want {
+			t.Errorf("trial %d: Theorem 6 greedy = %d, difference-constraint OPT = %d (%+v)",
+				trial, got, want, in)
+		}
+	}
+}
+
+func TestPreemptiveBoundedInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		in := randFlexInstance(rng, 8, 14, 3)
+		s, err := PreemptiveBounded(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := core.VerifyPreemptive(in, s); err != nil {
+			t.Fatalf("trial %d: invalid schedule: %v (instance %+v)", trial, err, in)
+		}
+		optInf, err := PreemptiveUnboundedValue(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := s.Cost()
+		if cost < optInf {
+			t.Errorf("trial %d: bounded cost %d below OPT_inf %d", trial, cost, optInf)
+		}
+		// Theorem 7 charging: cost <= OPT_inf + mass/g.
+		if float64(cost) > float64(optInf)+MassBound(in)+1e-9 {
+			t.Errorf("trial %d: cost %d > OPT_inf %d + mass/g %v (instance %+v)",
+				trial, cost, optInf, MassBound(in), in)
+		}
+	}
+}
+
+func TestDemandProfileBelowExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 40; trial++ {
+		in := randIntervalInstance(rng, 6, 10, 3)
+		exact, err := SolveExactInterval(in, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := scheduleCost(t, in, exact)
+		if dep := DemandProfileBound(in); dep > opt {
+			t.Errorf("trial %d: DeP %d > OPT %d (%+v)", trial, dep, opt, in)
+		}
+	}
+}
+
+func TestTracksAreDisjointAndCoverAllJobs(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	in := randIntervalInstance(rng, 15, 25, 3)
+	tracks, err := Tracks(in, GTOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	var prevLen core.Time = 1 << 62
+	for _, tr := range tracks {
+		if l := intervals.Mass(tr); l > prevLen {
+			t.Errorf("track lengths not non-increasing: %d after %d", l, prevLen)
+		} else {
+			prevLen = l
+		}
+		for i, j := range tr {
+			if seen[j.ID] {
+				t.Errorf("job %d in two tracks", j.ID)
+			}
+			seen[j.ID] = true
+			if i > 0 && tr[i-1].Deadline > j.Release {
+				t.Errorf("track not disjoint: %v", tr)
+			}
+		}
+	}
+	if len(seen) != len(in.Jobs) {
+		t.Errorf("tracks cover %d of %d jobs", len(seen), len(in.Jobs))
+	}
+}

@@ -1,0 +1,272 @@
+package busytime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// ExactOptions bounds the exact busy-time searches.
+type ExactOptions struct {
+	// MaxNodes caps branch-and-bound nodes (default 5e6).
+	MaxNodes int64
+}
+
+// SolveExactInterval computes an optimal busy-time schedule for interval
+// jobs by branch and bound over job-to-bundle assignments (with first-new-
+// bundle symmetry breaking), for small instances. It warm-starts from
+// GreedyTracking and prunes with the uncovered-span bound: every remaining
+// job must be busy somewhere, so the final cost is at least the current
+// cost plus the measure of the remaining jobs' span not yet covered by any
+// bundle.
+func SolveExactInterval(in *core.Instance, opts ExactOptions) (*core.BusySchedule, error) {
+	if err := requireInterval(in); err != nil {
+		return nil, err
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 5_000_000
+	}
+	warm, err := GreedyTracking(in, GTOptions{})
+	if err != nil {
+		return nil, err
+	}
+	warmCost, err := warm.Cost(in)
+	if err != nil {
+		return nil, err
+	}
+	jobs := make([]core.Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	lb := core.Time(0)
+	if d := DemandProfileBound(in); d > lb {
+		lb = d
+	}
+	s := &bundleSearch{
+		g:        in.G,
+		jobs:     jobs,
+		best:     warmCost,
+		bestSol:  warm,
+		lb:       lb,
+		maxNodes: maxNodes,
+	}
+	s.dfs(0, nil)
+	if s.nodesExceeded {
+		return nil, fmt.Errorf("busytime: exact interval search exceeded %d nodes", maxNodes)
+	}
+	return s.bestSol, nil
+}
+
+type bundleSearch struct {
+	g             int
+	jobs          []core.Job
+	best          core.Time
+	bestSol       *core.BusySchedule
+	lb            core.Time
+	nodes         int64
+	maxNodes      int64
+	nodesExceeded bool
+}
+
+func (s *bundleSearch) dfs(idx int, bundles [][]core.Job) {
+	if s.nodesExceeded || s.best <= s.lb {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.nodesExceeded = true
+		return
+	}
+	cost := bundlesCost(bundles)
+	if cost+s.uncovered(idx, bundles) >= s.best {
+		return
+	}
+	if idx == len(s.jobs) {
+		s.best = cost
+		s.bestSol = placeAtRelease(cloneBundles(bundles))
+		return
+	}
+	j := s.jobs[idx]
+	for bi := range bundles {
+		if fitsBundle(bundles[bi], j, s.g) {
+			bundles[bi] = append(bundles[bi], j)
+			s.dfs(idx+1, bundles)
+			bundles[bi] = bundles[bi][:len(bundles[bi])-1]
+		}
+	}
+	// Symmetry breaking: at most one fresh bundle.
+	bundles = append(bundles, []core.Job{j})
+	s.dfs(idx+1, bundles)
+}
+
+// uncovered lower-bounds the extra busy time the remaining jobs must add:
+// the part of their span no current bundle already covers.
+func (s *bundleSearch) uncovered(idx int, bundles [][]core.Job) core.Time {
+	var remaining []core.Interval
+	for _, j := range s.jobs[idx:] {
+		remaining = append(remaining, j.Window())
+	}
+	if len(remaining) == 0 {
+		return 0
+	}
+	var covered []core.Interval
+	for _, b := range bundles {
+		for _, j := range b {
+			covered = append(covered, j.Window())
+		}
+	}
+	return core.UnionMeasure(core.SubtractIntervals(remaining, covered))
+}
+
+func bundlesCost(bundles [][]core.Job) core.Time {
+	var total core.Time
+	for _, b := range bundles {
+		ivs := make([]core.Interval, 0, len(b))
+		for _, j := range b {
+			ivs = append(ivs, j.Window())
+		}
+		total += core.UnionMeasure(ivs)
+	}
+	return total
+}
+
+func cloneBundles(bundles [][]core.Job) [][]core.Job {
+	out := make([][]core.Job, len(bundles))
+	for i, b := range bundles {
+		out[i] = append([]core.Job(nil), b...)
+	}
+	return out
+}
+
+// SolveExactFlexible computes an optimal non-preemptive busy-time schedule
+// for flexible jobs by exhaustive search over integral start times and
+// bundle assignments. Exponential; intended for tiny instances as an
+// experimental baseline. When g >= n only a single bundle is explored
+// (merging bundles can never hurt with unlimited capacity), which makes it
+// double as an exact unbounded-g span optimizer.
+func SolveExactFlexible(in *core.Instance, opts ExactOptions) (*core.BusySchedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 5_000_000
+	}
+	jobs := make([]core.Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	sort.Slice(jobs, func(a, b int) bool {
+		sa, sb := jobs[a].WindowLen()-jobs[a].Length, jobs[b].WindowLen()-jobs[b].Length
+		if sa != sb {
+			return sa < sb
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	s := &flexSearch{g: in.G, jobs: jobs, maxNodes: maxNodes, best: -1, singleBundle: in.G >= len(in.Jobs)}
+	s.dfs(0, nil)
+	if s.nodesExceeded {
+		return nil, fmt.Errorf("busytime: exact flexible search exceeded %d nodes", maxNodes)
+	}
+	if s.bestSol == nil {
+		return nil, fmt.Errorf("busytime: exact flexible search found no schedule (bug)")
+	}
+	return s.bestSol, nil
+}
+
+type flexSearch struct {
+	g             int
+	jobs          []core.Job
+	best          core.Time // -1 until a solution is found
+	bestSol       *core.BusySchedule
+	nodes         int64
+	maxNodes      int64
+	nodesExceeded bool
+	singleBundle  bool
+}
+
+type flexPlacement struct {
+	job    core.Job
+	iv     core.Interval
+	bundle int
+}
+
+func (s *flexSearch) dfs(idx int, placed []flexPlacement) {
+	if s.nodesExceeded {
+		return
+	}
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.nodesExceeded = true
+		return
+	}
+	cost := s.cost(placed)
+	if s.best >= 0 && cost >= s.best {
+		return
+	}
+	if idx == len(s.jobs) {
+		s.best = cost
+		sched := &core.BusySchedule{}
+		nb := 0
+		for _, p := range placed {
+			if p.bundle+1 > nb {
+				nb = p.bundle + 1
+			}
+		}
+		sched.Bundles = make([]core.Bundle, nb)
+		for _, p := range placed {
+			sched.Bundles[p.bundle].Placements = append(sched.Bundles[p.bundle].Placements,
+				core.Placement{JobID: p.job.ID, Start: p.iv.Start})
+		}
+		s.bestSol = sched
+		return
+	}
+	j := s.jobs[idx]
+	numBundles := 0
+	for _, p := range placed {
+		if p.bundle+1 > numBundles {
+			numBundles = p.bundle + 1
+		}
+	}
+	maxBundle := numBundles // allow one new bundle
+	if s.singleBundle {
+		maxBundle = 0
+	}
+	for st := j.Release; st <= j.LatestStart(); st++ {
+		iv := core.Interval{Start: st, End: st + j.Length}
+		for b := 0; b <= maxBundle; b++ {
+			if !s.fits(placed, iv, b) {
+				continue
+			}
+			s.dfs(idx+1, append(placed, flexPlacement{j, iv, b}))
+		}
+	}
+}
+
+func (s *flexSearch) fits(placed []flexPlacement, iv core.Interval, bundle int) bool {
+	var ivs []core.Interval
+	for _, p := range placed {
+		if p.bundle == bundle {
+			if x := p.iv.Intersect(iv); !x.Empty() {
+				ivs = append(ivs, x)
+			}
+		}
+	}
+	return core.MaxConcurrency(ivs) < s.g
+}
+
+func (s *flexSearch) cost(placed []flexPlacement) core.Time {
+	byBundle := map[int][]core.Interval{}
+	for _, p := range placed {
+		byBundle[p.bundle] = append(byBundle[p.bundle], p.iv)
+	}
+	var total core.Time
+	for _, ivs := range byBundle {
+		total += core.UnionMeasure(ivs)
+	}
+	return total
+}

@@ -1,0 +1,96 @@
+package busytime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// OnlinePolicy decides, for a newly arrived interval job, which of the
+// feasible open bundles receives it (or -1 to open a new bundle). The
+// policy sees the job and the current bundles but not the future — the
+// online busy-time model of Shalom et al. discussed in Section 1.3 of the
+// paper, where any deterministic algorithm is at least g-competitive on
+// general instances.
+type OnlinePolicy interface {
+	Choose(j core.Job, bundles [][]core.Job, g int) int
+	Name() string
+}
+
+// OnlineFirstFit assigns each arriving job to the first bundle that stays
+// within g.
+type OnlineFirstFit struct{}
+
+// Name implements OnlinePolicy.
+func (OnlineFirstFit) Name() string { return "online-firstfit" }
+
+// Choose implements OnlinePolicy.
+func (OnlineFirstFit) Choose(j core.Job, bundles [][]core.Job, g int) int {
+	for bi := range bundles {
+		if fitsBundle(bundles[bi], j, g) {
+			return bi
+		}
+	}
+	return -1
+}
+
+// OnlineBestFit assigns each arriving job to the feasible bundle whose busy
+// time grows the least (ties: lowest index), opening a new bundle only when
+// none fits or every fit grows the span by the full job length anyway.
+type OnlineBestFit struct{}
+
+// Name implements OnlinePolicy.
+func (OnlineBestFit) Name() string { return "online-bestfit" }
+
+// Choose implements OnlinePolicy.
+func (OnlineBestFit) Choose(j core.Job, bundles [][]core.Job, g int) int {
+	best, bestGrowth := -1, j.Length+1
+	for bi := range bundles {
+		if !fitsBundle(bundles[bi], j, g) {
+			continue
+		}
+		ivs := make([]core.Interval, 0, len(bundles[bi])+1)
+		for _, o := range bundles[bi] {
+			ivs = append(ivs, o.Window())
+		}
+		before := core.UnionMeasure(ivs)
+		after := core.UnionMeasure(append(ivs, j.Window()))
+		if growth := after - before; growth < bestGrowth {
+			best, bestGrowth = bi, growth
+		}
+	}
+	return best
+}
+
+// Online runs an online policy over the interval jobs in arrival order
+// (non-decreasing release time, ties by ID — the adversary fixes the order
+// through the IDs). The resulting schedule is feasible for the offline
+// instance; its cost measures the policy's competitive performance.
+func Online(in *core.Instance, policy OnlinePolicy) (*core.BusySchedule, error) {
+	if err := requireInterval(in); err != nil {
+		return nil, err
+	}
+	jobs := make([]core.Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	var bundles [][]core.Job
+	for _, j := range jobs {
+		bi := policy.Choose(j, bundles, in.G)
+		if bi < 0 {
+			bundles = append(bundles, []core.Job{j})
+			continue
+		}
+		if bi >= len(bundles) || !fitsBundle(bundles[bi], j, in.G) {
+			return nil, fmt.Errorf("busytime: policy %s chose invalid bundle %d for %v",
+				policy.Name(), bi, j)
+		}
+		bundles[bi] = append(bundles[bi], j)
+	}
+	return placeAtRelease(bundles), nil
+}

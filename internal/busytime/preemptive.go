@@ -1,0 +1,255 @@
+package busytime
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// PreemptiveUnbounded implements the exact greedy of Theorem 6 for
+// preemptive busy time with unbounded parallelism (g treated as infinite):
+// repeatedly take the earliest remaining deadline d, let ℓ be the longest
+// remaining length among jobs due at d, open ℓ units of not-yet-open time
+// walking left from d, and schedule every live job maximally inside the
+// newly opened time. The result is returned on a single machine; verify it
+// against an instance clone with G >= n.
+//
+// On integral instances the optimal value also equals the difference-
+// constraint bound computed by PreemptiveUnboundedValue, and tests assert
+// the two agree (an independent exactness check).
+func PreemptiveUnbounded(in *core.Instance) (*core.PreemptiveSchedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	rem := make(map[int]core.Time, len(in.Jobs))
+	for _, j := range in.Jobs {
+		rem[j.ID] = j.Length
+	}
+	var opened []core.Interval // kept merged
+	var pieces []core.Piece
+	for {
+		// Earliest deadline among unfinished jobs.
+		var d core.Time
+		var lmax core.Time
+		found := false
+		for _, j := range in.Jobs {
+			if rem[j.ID] <= 0 {
+				continue
+			}
+			if !found || j.Deadline < d {
+				d, lmax, found = j.Deadline, rem[j.ID], true
+			} else if j.Deadline == d && rem[j.ID] > lmax {
+				lmax = rem[j.ID]
+			}
+		}
+		if !found {
+			break
+		}
+		newOpen := openLeftFrom(opened, d, lmax)
+		if measure(newOpen) < lmax {
+			return nil, fmt.Errorf("busytime: cannot open %d units before deadline %d (bug or infeasible input)", lmax, d)
+		}
+		// Schedule every unfinished job maximally inside the new segments.
+		for _, j := range in.Jobs {
+			r := rem[j.ID]
+			if r <= 0 {
+				continue
+			}
+			avail := clip(newOpen, j.Window())
+			for _, iv := range avail {
+				if r <= 0 {
+					break
+				}
+				take := iv.Len()
+				if take > r {
+					take = r
+				}
+				pieces = append(pieces, core.Piece{JobID: j.ID, Span: core.Interval{Start: iv.Start, End: iv.Start + take}})
+				r -= take
+			}
+			rem[j.ID] = r
+		}
+		// Every job due at d must now be complete (Theorem 6 invariant).
+		for _, j := range in.Jobs {
+			if j.Deadline == d && rem[j.ID] > 0 {
+				return nil, fmt.Errorf("busytime: job %v unfinished at its deadline (bug)", j)
+			}
+		}
+		opened = core.MergeIntervals(append(opened, newOpen...))
+	}
+	sort.Slice(pieces, func(a, b int) bool {
+		if pieces[a].Span.Start != pieces[b].Span.Start {
+			return pieces[a].Span.Start < pieces[b].Span.Start
+		}
+		return pieces[a].JobID < pieces[b].JobID
+	})
+	return &core.PreemptiveSchedule{Machines: []core.PreemptiveMachine{{Pieces: pieces}}}, nil
+}
+
+// openLeftFrom collects up to amount units of not-yet-open time walking left
+// from deadline d.
+func openLeftFrom(opened []core.Interval, d, amount core.Time) []core.Interval {
+	free := core.SubtractIntervals([]core.Interval{{Start: 0, End: d}}, opened)
+	var out []core.Interval
+	for i := len(free) - 1; i >= 0 && amount > 0; i-- {
+		iv := free[i]
+		take := iv.Len()
+		if take > amount {
+			iv.Start = iv.End - amount
+			take = amount
+		}
+		out = append(out, iv)
+		amount -= take
+	}
+	// Chronological order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func measure(ivs []core.Interval) core.Time {
+	var m core.Time
+	for _, iv := range ivs {
+		m += iv.Len()
+	}
+	return m
+}
+
+func clip(ivs []core.Interval, w core.Interval) []core.Interval {
+	var out []core.Interval
+	for _, iv := range ivs {
+		if x := iv.Intersect(w); !x.Empty() {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// PreemptiveUnboundedValue returns the optimal preemptive unbounded-g busy
+// time of an integral instance by an independent method: with g unbounded
+// the problem is exactly "open a minimum-measure set of unit slots such
+// that every job's window contains at least p_j open slots", a difference-
+// constraint system solved by longest paths (S_t = open measure in [0,t);
+// S_{d_j} - S_{r_j} >= p_j, 0 <= S_t - S_{t-1} <= 1).
+func PreemptiveUnboundedValue(in *core.Instance) (core.Time, error) {
+	if err := in.Validate(); err != nil {
+		return 0, err
+	}
+	T := int(in.Horizon())
+	const negInf = int64(-1) << 60
+	dist := make([]int64, T+1)
+	for t := 1; t <= T; t++ {
+		dist[t] = negInf
+	}
+	relax := func() bool {
+		changed := false
+		for t := 1; t <= T; t++ {
+			if dist[t-1] > dist[t] {
+				dist[t] = dist[t-1]
+				changed = true
+			}
+		}
+		for t := T; t >= 1; t-- {
+			if dist[t] != negInf && dist[t]-1 > dist[t-1] {
+				dist[t-1] = dist[t] - 1
+				changed = true
+			}
+		}
+		for _, j := range in.Jobs {
+			if dist[j.Release] != negInf && dist[j.Release]+j.Length > dist[j.Deadline] {
+				dist[j.Deadline] = dist[j.Release] + j.Length
+				changed = true
+			}
+		}
+		return changed
+	}
+	for iter := 0; relax(); iter++ {
+		if iter > T+len(in.Jobs)+2 {
+			return 0, fmt.Errorf("busytime: difference constraints diverge (infeasible input)")
+		}
+	}
+	return dist[T], nil
+}
+
+// PreemptiveBounded implements the 2-approximation of Theorem 7 for
+// preemptive busy time with bounded g: compute the exact unbounded solution
+// S_inf (Theorem 6), split its busy region at every piece endpoint, and for
+// each elementary interval deal its n(I) active jobs onto ceil(n(I)/g)
+// machines. At most one machine per interval is below capacity, so
+//
+//	cost <= OPT_inf + ℓ(J)/g <= 2·OPT ,
+//
+// an invariant the tests assert.
+func PreemptiveBounded(in *core.Instance) (*core.PreemptiveSchedule, error) {
+	sInf, err := PreemptiveUnbounded(in)
+	if err != nil {
+		return nil, err
+	}
+	pieces := sInf.Machines[0].Pieces
+	// Elementary boundaries: all piece endpoints.
+	boundSet := make(map[core.Time]bool)
+	for _, p := range pieces {
+		boundSet[p.Span.Start] = true
+		boundSet[p.Span.End] = true
+	}
+	bounds := make([]core.Time, 0, len(boundSet))
+	for t := range boundSet {
+		bounds = append(bounds, t)
+	}
+	sort.Slice(bounds, func(a, b int) bool { return bounds[a] < bounds[b] })
+	var machines []core.PreemptiveMachine
+	ensure := func(k int) {
+		for len(machines) <= k {
+			machines = append(machines, core.PreemptiveMachine{})
+		}
+	}
+	for k := 0; k+1 < len(bounds); k++ {
+		iv := core.Interval{Start: bounds[k], End: bounds[k+1]}
+		var active []int
+		for _, p := range pieces {
+			if p.Span.Start <= iv.Start && p.Span.End >= iv.End {
+				active = append(active, p.JobID)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		sort.Ints(active)
+		for i, id := range active {
+			m := i / in.G
+			ensure(m)
+			machines[m].Pieces = append(machines[m].Pieces, core.Piece{JobID: id, Span: iv})
+		}
+	}
+	// Coalesce adjacent pieces of the same job on the same machine.
+	for mi := range machines {
+		machines[mi].Pieces = coalescePieces(machines[mi].Pieces)
+	}
+	return &core.PreemptiveSchedule{Machines: machines}, nil
+}
+
+func coalescePieces(pieces []core.Piece) []core.Piece {
+	sort.Slice(pieces, func(a, b int) bool {
+		if pieces[a].JobID != pieces[b].JobID {
+			return pieces[a].JobID < pieces[b].JobID
+		}
+		return pieces[a].Span.Start < pieces[b].Span.Start
+	})
+	var out []core.Piece
+	for _, p := range pieces {
+		if n := len(out); n > 0 && out[n-1].JobID == p.JobID && out[n-1].Span.End == p.Span.Start {
+			out[n-1].Span.End = p.Span.End
+			continue
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Span.Start != out[b].Span.Start {
+			return out[a].Span.Start < out[b].Span.Start
+		}
+		return out[a].JobID < out[b].JobID
+	})
+	return out
+}

@@ -1,0 +1,133 @@
+package busytime
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// Every interval algorithm produces a verifiable schedule whose cost sits
+// between the best lower bound and its guarantee times the demand profile
+// (a crude but universally valid upper envelope).
+func TestQuickIntervalAlgorithmsSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randIntervalInstance(rng, 10, 18, 4)
+		lb := BestLowerBound(in)
+		dep := float64(DemandProfileBound(in))
+		for name, algo := range map[string]IntervalAlgorithm{
+			"ff": FirstFit,
+			"gt": func(i *core.Instance) (*core.BusySchedule, error) {
+				return GreedyTracking(i, GTOptions{})
+			},
+			"pc":  PairCover,
+			"rel": GreedyByRelease,
+		} {
+			s, err := algo(in)
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			if core.VerifyBusy(in, s) != nil {
+				return false
+			}
+			c, err := s.Cost(in)
+			if err != nil {
+				return false
+			}
+			if float64(c) < lb-1e-9 {
+				return false // beat a lower bound: impossible
+			}
+			if name == "pc" && float64(c) > 2*dep+1e-9 {
+				return false // PairCover's charging bound
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The span minimizers always return feasible starts, and more search effort
+// never hurts.
+func TestQuickSpanMinimizerMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randFlexInstance(rng, 8, 14, 3)
+		starts1, span1, err := HeuristicSpan{MaxPasses: 1}.MinimizeSpan(in)
+		if err != nil {
+			return false
+		}
+		starts8, span8, err := HeuristicSpan{MaxPasses: 8}.MinimizeSpan(in)
+		if err != nil {
+			return false
+		}
+		for _, j := range in.Jobs {
+			for _, starts := range []map[int]core.Time{starts1, starts8} {
+				s := starts[j.ID]
+				if s < j.Release || s+j.Length > j.Deadline {
+					return false
+				}
+			}
+		}
+		return span8 <= span1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Preemption never costs more: the preemptive bounded solution is at most
+// the cost of any non-preemptive schedule we can compute, and at least
+// OPT_inf.
+func TestQuickPreemptionHelps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randFlexInstance(rng, 8, 14, 3)
+		pre, err := PreemptiveBounded(in)
+		if err != nil || core.VerifyPreemptive(in, pre) != nil {
+			return false
+		}
+		optInf, err := PreemptiveUnboundedValue(in)
+		if err != nil {
+			return false
+		}
+		if pre.Cost() < optInf {
+			return false
+		}
+		// Against the nonpreemptive pipeline: preemptive 2-approx is within
+		// a factor 2 of any nonpreemptive cost (cannot be wildly larger).
+		np, err := SolveFlexible(in, HeuristicSpan{}, func(i *core.Instance) (*core.BusySchedule, error) {
+			return GreedyTracking(i, GTOptions{})
+		})
+		if err != nil {
+			return false
+		}
+		npCost, err := np.Cost(in)
+		if err != nil {
+			return false
+		}
+		return float64(pre.Cost()) <= 2*float64(npCost)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Dummy padding never changes the demand profile (the Appendix A
+// observation PairCover relies on).
+func TestQuickPaddingPreservesDemandProfile(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randIntervalInstance(rng, 10, 18, 4)
+		padded, _ := padToMultipleOfG(in)
+		paddedIn := &core.Instance{G: in.G, Jobs: padded}
+		return DemandProfileBound(in) == DemandProfileBound(paddedIn)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,87 @@
+package busytime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestShiftInvariance checks that no algorithm's cost depends on absolute
+// time: translating every window by a constant leaves busy times unchanged.
+func TestShiftInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	const delta = core.Time(137)
+	for trial := 0; trial < 30; trial++ {
+		in := randIntervalInstance(rng, 9, 16, 3)
+		shifted := in.Clone().Shift(delta)
+		costOf := func(in *core.Instance, algo IntervalAlgorithm) core.Time {
+			s, err := algo(in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return scheduleCost(t, in, s)
+		}
+		for name, algo := range map[string]IntervalAlgorithm{
+			"firstfit": FirstFit,
+			"greedytracking": func(i *core.Instance) (*core.BusySchedule, error) {
+				return GreedyTracking(i, GTOptions{})
+			},
+			"paircover": PairCover,
+			"byrelease": GreedyByRelease,
+			"exact": func(i *core.Instance) (*core.BusySchedule, error) {
+				return SolveExactInterval(i, ExactOptions{})
+			},
+			"online-ff": func(i *core.Instance) (*core.BusySchedule, error) {
+				return Online(i, OnlineFirstFit{})
+			},
+		} {
+			a, b := costOf(in, algo), costOf(shifted, algo)
+			if a != b {
+				t.Errorf("trial %d: %s not shift-invariant: %d vs %d", trial, name, a, b)
+			}
+		}
+		// Lower bounds shift too.
+		if DemandProfileBound(in) != DemandProfileBound(shifted) {
+			t.Errorf("trial %d: demand profile not shift-invariant", trial)
+		}
+		if SpanBound(in) != SpanBound(shifted) {
+			t.Errorf("trial %d: span not shift-invariant", trial)
+		}
+	}
+}
+
+// TestShiftInvariancePreemptive covers the preemptive algorithms, whose
+// left-walk from deadlines could plausibly leak absolute positions.
+func TestShiftInvariancePreemptive(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	const delta = core.Time(211)
+	for trial := 0; trial < 30; trial++ {
+		in := randFlexInstance(rng, 9, 16, 3)
+		shifted := in.Clone().Shift(delta)
+		a, err := PreemptiveBounded(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := PreemptiveBounded(shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Cost() != b.Cost() {
+			t.Errorf("trial %d: PreemptiveBounded not shift-invariant: %d vs %d",
+				trial, a.Cost(), b.Cost())
+		}
+		va, err := PreemptiveUnboundedValue(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vb, err := PreemptiveUnboundedValue(shifted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if va != vb {
+			t.Errorf("trial %d: PreemptiveUnboundedValue not shift-invariant: %d vs %d",
+				trial, va, vb)
+		}
+	}
+}

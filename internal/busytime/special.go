@@ -1,0 +1,142 @@
+package busytime
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// GreedyByRelease is the special-case greedy of Flammini et al. discussed
+// in footnote 1 of the paper: consider interval jobs in non-decreasing
+// order of release time and put each into the first bundle that stays
+// within g. On *proper* instances (no window strictly contains another) it
+// is a 2-approximation; on general instances it is only a heuristic.
+func GreedyByRelease(in *core.Instance) (*core.BusySchedule, error) {
+	if err := requireInterval(in); err != nil {
+		return nil, err
+	}
+	jobs := make([]core.Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		if jobs[a].Deadline != jobs[b].Deadline {
+			return jobs[a].Deadline < jobs[b].Deadline
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	var bundles [][]core.Job
+	for _, j := range jobs {
+		placed := false
+		for bi := range bundles {
+			if fitsBundle(bundles[bi], j, in.G) {
+				bundles[bi] = append(bundles[bi], j)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			bundles = append(bundles, []core.Job{j})
+		}
+	}
+	return placeAtRelease(bundles), nil
+}
+
+// IsProper reports whether no job's window strictly contains another's
+// (the "proper interval" special case of footnote 1). Identical windows are
+// allowed.
+func IsProper(in *core.Instance) bool {
+	for i := range in.Jobs {
+		for k := range in.Jobs {
+			if i == k {
+				continue
+			}
+			a, b := in.Jobs[i], in.Jobs[k]
+			if a.Release <= b.Release && b.Deadline <= a.Deadline && a.Window() != b.Window() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsClique reports whether all windows share a common point (the clique
+// special case of footnote 1): max_j r_j < min_j d_j.
+func IsClique(in *core.Instance) bool {
+	if len(in.Jobs) == 0 {
+		return true
+	}
+	maxR, minD := in.Jobs[0].Release, in.Jobs[0].Deadline
+	for _, j := range in.Jobs[1:] {
+		if j.Release > maxR {
+			maxR = j.Release
+		}
+		if j.Deadline < minD {
+			minD = j.Deadline
+		}
+	}
+	return maxR < minD
+}
+
+// IsLaminar reports whether every two windows are disjoint or nested (the
+// laminar special case for which Khandekar et al. give an exact algorithm).
+func IsLaminar(in *core.Instance) bool {
+	for i := range in.Jobs {
+		for k := i + 1; k < len(in.Jobs); k++ {
+			a, b := in.Jobs[i].Window(), in.Jobs[k].Window()
+			if !a.Overlaps(b) {
+				continue
+			}
+			aInB := b.Start <= a.Start && a.End <= b.End
+			bInA := a.Start <= b.Start && b.End <= a.End
+			if !aInB && !bInA {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CliqueGreedy is the 2-approximation for clique instances discussed in
+// footnote 1: since every job crosses a common point t*, sort jobs by
+// length (longest first) and fill machines g at a time; each machine's span
+// is at most the span of its longest job's window union, charged against
+// the demand profile at t*.
+func CliqueGreedy(in *core.Instance) (*core.BusySchedule, error) {
+	if err := requireInterval(in); err != nil {
+		return nil, err
+	}
+	jobs := make([]core.Job, len(in.Jobs))
+	copy(jobs, in.Jobs)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Length != jobs[b].Length {
+			return jobs[a].Length > jobs[b].Length
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	var bundles [][]core.Job
+	for i, j := range jobs {
+		if i%in.G == 0 {
+			bundles = append(bundles, nil)
+		}
+		bundles[len(bundles)-1] = append(bundles[len(bundles)-1], j)
+	}
+	return placeAtRelease(bundles), nil
+}
+
+// SpecialCase classifies an interval instance for the footnote-1 taxonomy.
+func SpecialCase(in *core.Instance) string {
+	switch {
+	case IsClique(in) && IsProper(in):
+		return "proper clique"
+	case IsClique(in):
+		return "clique"
+	case IsProper(in):
+		return "proper"
+	case IsLaminar(in):
+		return "laminar"
+	default:
+		return "general"
+	}
+}

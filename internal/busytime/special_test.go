@@ -1,0 +1,143 @@
+package busytime
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func properInstance(rng *rand.Rand, n, g int) *core.Instance {
+	jobs := make([]core.Job, n)
+	r, d := core.Time(0), core.Time(2+rng.Intn(5))
+	for i := range jobs {
+		jobs[i] = core.Job{ID: i, Release: r, Deadline: d, Length: d - r}
+		r += core.Time(1 + rng.Intn(3))
+		d += core.Time(1 + rng.Intn(3))
+		if d <= r {
+			d = r + 1
+		}
+	}
+	return &core.Instance{G: g, Jobs: jobs}
+}
+
+func cliqueInstance(rng *rand.Rand, n, g int) *core.Instance {
+	jobs := make([]core.Job, n)
+	mid := core.Time(20)
+	for i := range jobs {
+		l := core.Time(rng.Intn(10)) + 1
+		rgt := core.Time(rng.Intn(10)) + 1
+		jobs[i] = core.Job{ID: i, Release: mid - l, Deadline: mid + rgt, Length: l + rgt}
+	}
+	return &core.Instance{G: g, Jobs: jobs}
+}
+
+func TestClassifiers(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	p := properInstance(rng, 8, 2)
+	if !IsProper(p) {
+		t.Error("proper instance not classified proper")
+	}
+	c := cliqueInstance(rng, 8, 2)
+	if !IsClique(c) {
+		t.Error("clique instance not classified clique")
+	}
+	nested := &core.Instance{G: 2, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 10, Length: 10},
+		{ID: 1, Release: 2, Deadline: 5, Length: 3},
+	}}
+	if IsProper(nested) {
+		t.Error("nested windows classified proper")
+	}
+	if !IsLaminar(nested) {
+		t.Error("nested windows not laminar")
+	}
+	crossing := &core.Instance{G: 2, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 6, Length: 6},
+		{ID: 1, Release: 3, Deadline: 9, Length: 6},
+	}}
+	if IsLaminar(crossing) {
+		t.Error("crossing windows classified laminar")
+	}
+	if got := SpecialCase(nested); got != "clique" {
+		// Both windows share [2,5), so the clique label wins.
+		t.Errorf("SpecialCase(nested) = %q, want clique", got)
+	}
+	laminarOnly := &core.Instance{G: 2, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 10, Length: 10},
+		{ID: 1, Release: 0, Deadline: 4, Length: 4},
+		{ID: 2, Release: 6, Deadline: 10, Length: 4},
+	}}
+	if got := SpecialCase(laminarOnly); got != "laminar" {
+		t.Errorf("SpecialCase(laminarOnly) = %q, want laminar", got)
+	}
+	identical := &core.Instance{G: 2, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 4, Length: 4},
+		{ID: 1, Release: 0, Deadline: 4, Length: 4},
+	}}
+	if !IsProper(identical) {
+		t.Error("identical windows must count as proper")
+	}
+}
+
+// TestGreedyByReleaseOnProper checks the footnote-1 claim: the
+// release-order greedy is 2-approximate on proper instances.
+func TestGreedyByReleaseOnProper(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 60; trial++ {
+		in := properInstance(rng, 2+rng.Intn(8), 1+rng.Intn(3))
+		if !IsProper(in) {
+			t.Fatal("generator broke properness")
+		}
+		s, err := GreedyByRelease(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := scheduleCost(t, in, s)
+		exact, err := SolveExactInterval(in, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := scheduleCost(t, in, exact)
+		if cost > 2*opt {
+			t.Errorf("trial %d: GreedyByRelease %d > 2*OPT %d on proper instance %+v",
+				trial, cost, 2*opt, in)
+		}
+	}
+}
+
+// TestCliqueGreedyOnClique checks the footnote-1 claim for cliques: filling
+// machines g at a time, longest first, is 2-approximate.
+func TestCliqueGreedyOnClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	for trial := 0; trial < 60; trial++ {
+		in := cliqueInstance(rng, 2+rng.Intn(8), 1+rng.Intn(3))
+		if !IsClique(in) {
+			t.Fatal("generator broke clique property")
+		}
+		s, err := CliqueGreedy(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cost := scheduleCost(t, in, s)
+		exact, err := SolveExactInterval(in, ExactOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := scheduleCost(t, in, exact)
+		if cost > 2*opt {
+			t.Errorf("trial %d: CliqueGreedy %d > 2*OPT %d on clique instance %+v",
+				trial, cost, 2*opt, in)
+		}
+	}
+}
+
+func TestGreedyByReleaseRejectsFlexible(t *testing.T) {
+	in := &core.Instance{G: 2, Jobs: []core.Job{{ID: 0, Release: 0, Deadline: 9, Length: 2}}}
+	if _, err := GreedyByRelease(in); err != ErrNotInterval {
+		t.Errorf("err = %v, want ErrNotInterval", err)
+	}
+	if _, err := CliqueGreedy(in); err != ErrNotInterval {
+		t.Errorf("err = %v, want ErrNotInterval", err)
+	}
+}

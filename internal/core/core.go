@@ -1,0 +1,154 @@
+// Package core defines the shared domain model for the active-time and
+// busy-time scheduling problems of Chang, Khuller and Mukherjee (SPAA 2014):
+// jobs with release times, deadlines and lengths; problem instances with a
+// parallelism bound g; schedule representations for the three models studied
+// by the paper (slotted preemptive active time, non-preemptive busy time on
+// unbounded machines, and preemptive busy time); and verifiers that check a
+// schedule against an instance.
+//
+// All times are int64 ticks. The active-time model is slotted: slot t is the
+// unit interval [t-1, t), so a job with release r and deadline d may use
+// slots {r+1, ..., d}. The busy-time model is continuous; real-valued inputs
+// are represented by scaling ticks. Keeping every time integral keeps the
+// combinatorial algorithms exact; floating point is confined to the LP
+// substrate.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Time is a point on the (scaled, integral) time axis.
+type Time = int64
+
+// Interval is the half-open interval [Start, End).
+type Interval struct {
+	Start Time `json:"start"`
+	End   Time `json:"end"`
+}
+
+// Len returns End - Start. An interval with End <= Start has length <= 0 and
+// is treated as empty by the geometric helpers.
+func (iv Interval) Len() Time { return iv.End - iv.Start }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Contains reports whether t lies in [Start, End).
+func (iv Interval) Contains(t Time) bool { return iv.Start <= t && t < iv.End }
+
+// Overlaps reports whether the two half-open intervals share a point.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// Intersect returns the intersection of the two intervals; the result may be
+// empty (Len() <= 0).
+func (iv Interval) Intersect(o Interval) Interval {
+	s, e := iv.Start, iv.End
+	if o.Start > s {
+		s = o.Start
+	}
+	if o.End < e {
+		e = o.End
+	}
+	return Interval{s, e}
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Start, iv.End) }
+
+// SortIntervals sorts intervals by start, then end, in place.
+func SortIntervals(ivs []Interval) {
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Start != ivs[j].Start {
+			return ivs[i].Start < ivs[j].Start
+		}
+		return ivs[i].End < ivs[j].End
+	})
+}
+
+// UnionMeasure returns the measure (total length) of the union of the given
+// intervals. Empty intervals are ignored. The input is not modified.
+func UnionMeasure(ivs []Interval) Time {
+	merged := MergeIntervals(ivs)
+	var total Time
+	for _, iv := range merged {
+		total += iv.Len()
+	}
+	return total
+}
+
+// MergeIntervals returns the union of the given intervals as a sorted slice
+// of disjoint, non-empty, non-touching intervals. The input is not modified.
+func MergeIntervals(ivs []Interval) []Interval {
+	sorted := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.Empty() {
+			sorted = append(sorted, iv)
+		}
+	}
+	if len(sorted) == 0 {
+		return nil
+	}
+	SortIntervals(sorted)
+	out := make([]Interval, 0, len(sorted))
+	cur := sorted[0]
+	for _, iv := range sorted[1:] {
+		if iv.Start > cur.End {
+			out = append(out, cur)
+			cur = iv
+			continue
+		}
+		if iv.End > cur.End {
+			cur.End = iv.End
+		}
+	}
+	return append(out, cur)
+}
+
+// SubtractIntervals returns base minus the union of cuts, as a sorted slice
+// of disjoint non-empty intervals.
+func SubtractIntervals(base, cuts []Interval) []Interval {
+	b := MergeIntervals(base)
+	c := MergeIntervals(cuts)
+	var out []Interval
+	j := 0
+	for _, iv := range b {
+		s := iv.Start
+		for j < len(c) && c[j].End <= s {
+			j++
+		}
+		for k := j; k < len(c) && c[k].Start < iv.End; k++ {
+			if c[k].Start > s {
+				out = append(out, Interval{s, c[k].Start})
+			}
+			if c[k].End > s {
+				s = c[k].End
+			}
+		}
+		if s < iv.End {
+			out = append(out, Interval{s, iv.End})
+		}
+	}
+	return out
+}
+
+// IntersectUnions returns the measure of (union of a) ∩ (union of b).
+func IntersectUnions(a, b []Interval) Time {
+	ma, mb := MergeIntervals(a), MergeIntervals(b)
+	var total Time
+	i, j := 0, 0
+	for i < len(ma) && j < len(mb) {
+		iv := ma[i].Intersect(mb[j])
+		if !iv.Empty() {
+			total += iv.Len()
+		}
+		if ma[i].End < mb[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return total
+}

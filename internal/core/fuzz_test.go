@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzIntervalAlgebra checks the interval-set identities on arbitrary
+// inputs: union measure is monotone and subadditive, merge is idempotent,
+// and subtract/intersect partition the base measure.
+func FuzzIntervalAlgebra(f *testing.F) {
+	f.Add(int64(0), int64(5), int64(3), int64(8), int64(1), int64(2))
+	f.Add(int64(-4), int64(-4), int64(0), int64(0), int64(7), int64(3))
+	f.Add(int64(10), int64(2), int64(5), int64(5), int64(-1), int64(4))
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2, c1, c2 int64) {
+		base := []Interval{{a1, a2}, {b1, b2}}
+		cuts := []Interval{{c1, c2}}
+		um := UnionMeasure(base)
+		if um < 0 {
+			t.Fatalf("negative union measure %d", um)
+		}
+		var sum Time
+		for _, iv := range base {
+			if !iv.Empty() {
+				sum += iv.Len()
+			}
+		}
+		if um > sum {
+			t.Fatalf("union %d exceeds sum of lengths %d", um, sum)
+		}
+		merged := MergeIntervals(base)
+		if UnionMeasure(merged) != um {
+			t.Fatalf("merge changed measure")
+		}
+		for i := 1; i < len(merged); i++ {
+			if merged[i-1].End > merged[i].Start {
+				t.Fatalf("merge output overlaps: %v", merged)
+			}
+		}
+		rest := UnionMeasure(SubtractIntervals(base, cuts))
+		inter := IntersectUnions(base, cuts)
+		if rest+inter != um {
+			t.Fatalf("subtract(%d) + intersect(%d) != union(%d)", rest, inter, um)
+		}
+	})
+}
+
+// FuzzReadInstance ensures arbitrary bytes never panic the decoder and
+// anything accepted passes validation.
+func FuzzReadInstance(f *testing.F) {
+	f.Add([]byte(`{"g":2,"jobs":[{"id":0,"release":0,"deadline":4,"length":2}]}`))
+	f.Add([]byte(`{"g":0,"jobs":[]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"g":1,"jobs":[{"id":0,"release":-5,"deadline":1,"length":9}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("ReadInstance accepted an instance that fails Validate: %v", verr)
+		}
+	})
+}
+
+// FuzzMaxConcurrency checks the sweep against a quadratic oracle.
+func FuzzMaxConcurrency(f *testing.F) {
+	f.Add(int64(0), int64(3), int64(1), int64(4), int64(2), int64(5))
+	f.Fuzz(func(t *testing.T, a1, a2, b1, b2, c1, c2 int64) {
+		ivs := []Interval{{a1, a2}, {b1, b2}, {c1, c2}}
+		got := MaxConcurrency(ivs)
+		// Oracle: check concurrency at every interval start point.
+		want := 0
+		for _, p := range ivs {
+			if p.Empty() {
+				continue
+			}
+			cnt := 0
+			for _, q := range ivs {
+				if !q.Empty() && q.Contains(p.Start) {
+					cnt++
+				}
+			}
+			if cnt > want {
+				want = cnt
+			}
+		}
+		if got != want {
+			t.Fatalf("MaxConcurrency(%v) = %d, oracle %d", ivs, got, want)
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/activetime"
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// E1MinimalFeasibleFig3 sweeps the Figure 3 gadget: any minimal feasible
+// solution is a 3-approximation (Theorem 1) and the gadget drives the
+// adversarial closing order to cost 3g-2 against an optimum of g.
+func E1MinimalFeasibleFig3(cfg Config) (*Table, error) {
+	gs := []int{3, 4, 6, 8, 12, 16}
+	if cfg.Quick {
+		gs = []int{3, 4, 6}
+	}
+	tab := &Table{
+		ID:    "E1",
+		Title: "Minimal feasible schedules on the Figure 3 gadget",
+		Claim: "minimal feasible <= 3*OPT; tight: (3g-2)/g -> 3 (Theorem 1, Figure 3)",
+		Columns: []string{"g", "OPT", "adversarial", "ratio", "right-to-left",
+			"left-to-right", "LP bound"},
+	}
+	for _, g := range gs {
+		gd, err := gen.Fig3(g)
+		if err != nil {
+			return nil, err
+		}
+		in := gd.Instance
+		adv, err := activetime.MinimalFeasible(in, activetime.MinimalOptions{
+			First: gd.AdversarialFirst,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := core.VerifyActive(in, adv); err != nil {
+			return nil, err
+		}
+		rtl, err := activetime.MinimalFeasible(in, activetime.MinimalOptions{
+			Strategy: activetime.CloseRightToLeft,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ltr, err := activetime.MinimalFeasible(in, activetime.MinimalOptions{
+			Strategy: activetime.CloseLeftToRight,
+		})
+		if err != nil {
+			return nil, err
+		}
+		lpres, err := activetime.SolveLP(in)
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(di(g), d(int64(gd.OptValue)), d(int64(adv.Cost())),
+			f3(float64(adv.Cost())/float64(gd.OptValue)),
+			d(int64(rtl.Cost())), d(int64(ltr.Cost())), f2(lpres.Objective))
+	}
+	tab.Notes = append(tab.Notes,
+		"adversarial = MinimalFeasible closing slots g+1 and 2g first (reaches the Figure 3 minimal solution)",
+		"OPT verified by flow feasibility of the g-slot solution and, for g=3, by exact branch and bound")
+	return tab, nil
+}
+
+// E2LPRounding measures the LP-rounding 2-approximation (Theorem 2) on
+// random flexible instances: rounded cost vs LP optimum and vs exact OPT.
+func E2LPRounding(cfg Config) (*Table, error) {
+	type sweep struct{ n, T, g int }
+	sweeps := []sweep{{6, 10, 2}, {8, 12, 3}, {10, 14, 3}, {12, 16, 4}}
+	trials := 12
+	if cfg.Quick {
+		sweeps = sweeps[:2]
+		trials = 4
+	}
+	tab := &Table{
+		ID:    "E2",
+		Title: "LP rounding on random active-time instances",
+		Claim: "opened slots <= 2*LP <= 2*OPT (Theorem 2); integrality gap makes 2 unbeatable",
+		Columns: []string{"n", "T", "g", "trials", "mean r/LP", "max r/LP",
+			"mean r/OPT", "max r/OPT", "mean min/OPT"},
+	}
+	for _, s := range sweeps {
+		var rLP, rOPT, mOPT []float64
+		used := 0
+		for trial := 0; trial < trials; trial++ {
+			in := gen.RandomFlexible(gen.RandomConfig{
+				N: s.n, Horizon: s.T, MaxLen: 4, Slack: 4, G: s.g,
+				Seed: cfg.Seed + int64(trial*1000+s.n),
+			})
+			res, err := activetime.RoundLP(in)
+			if err == activetime.ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if float64(res.Opened) > 2*res.LPValue+1e-6 {
+				return nil, fmt.Errorf("invariant violated: opened %d > 2*LP %v", res.Opened, res.LPValue)
+			}
+			exact, err := activetime.SolveExact(in, activetime.ExactOptions{})
+			if err != nil {
+				return nil, err
+			}
+			minimal, err := activetime.MinimalFeasible(in, activetime.MinimalOptions{
+				Strategy: activetime.CloseRightToLeft,
+			})
+			if err != nil {
+				return nil, err
+			}
+			used++
+			rLP = append(rLP, float64(res.Opened)/res.LPValue)
+			rOPT = append(rOPT, float64(res.Opened)/float64(exact.Cost()))
+			mOPT = append(mOPT, float64(minimal.Cost())/float64(exact.Cost()))
+		}
+		meanLP, maxLP := meanMax(rLP)
+		meanO, maxO := meanMax(rOPT)
+		meanM, _ := meanMax(mOPT)
+		tab.AddRow(di(s.n), di(s.T), di(s.g), di(used),
+			f3(meanLP), f3(maxLP), f3(meanO), f3(maxO), f3(meanM))
+	}
+	tab.Notes = append(tab.Notes,
+		"r = LP rounding (RoundLP), min = minimal feasible right-to-left, OPT = exact branch and bound",
+		"every run also re-verified opened <= 2*LP and schedule validity")
+	return tab, nil
+}
+
+// E3IntegralityGap sweeps the Section 3.5 construction: IP/LP = 2g/(g+1).
+func E3IntegralityGap(cfg Config) (*Table, error) {
+	gs := []int{2, 3, 4, 5, 6, 8}
+	if cfg.Quick {
+		gs = []int{2, 3, 4}
+	}
+	tab := &Table{
+		ID:      "E3",
+		Title:   "LP1 integrality gap construction",
+		Claim:   "IP = 2g, LP = g+1, gap = 2g/(g+1) -> 2 (Section 3.5)",
+		Columns: []string{"g", "jobs", "IP (unit exact)", "LP", "gap", "paper gap"},
+	}
+	for _, g := range gs {
+		in := gen.IntegralityGap(g)
+		exact, err := activetime.SolveUnitExact(in)
+		if err != nil {
+			return nil, err
+		}
+		lpres, err := activetime.SolveLP(in)
+		if err != nil {
+			return nil, err
+		}
+		gap := float64(exact.Cost()) / lpres.Objective
+		paper := 2 * float64(g) / float64(g+1)
+		tab.AddRow(di(g), di(len(in.Jobs)), d(int64(exact.Cost())),
+			f3(lpres.Objective), f3(gap), f3(paper))
+	}
+	return tab, nil
+}
+
+// E12UnitActive compares the exact unit-job solver against the
+// approximations on random unit instances.
+func E12UnitActive(cfg Config) (*Table, error) {
+	type sweep struct{ n, T, w, g int }
+	sweeps := []sweep{{10, 12, 3, 2}, {16, 16, 4, 3}, {24, 20, 5, 3}, {32, 24, 6, 4}}
+	trials := 10
+	if cfg.Quick {
+		sweeps = sweeps[:2]
+		trials = 4
+	}
+	tab := &Table{
+		ID:    "E12",
+		Title: "Unit-length jobs: exact vs minimal feasible vs LP rounding",
+		Claim: "unit jobs are polynomial (role of Chang-Gabow-Khuller [2]); approximations stay within their factors",
+		Columns: []string{"n", "T", "g", "trials", "mean OPT", "mean min/OPT",
+			"max min/OPT", "mean rnd/OPT", "max rnd/OPT"},
+	}
+	for _, s := range sweeps {
+		var minR, rndR []float64
+		var optSum float64
+		used := 0
+		for trial := 0; trial < trials; trial++ {
+			in := gen.RandomUnit(gen.RandomConfig{
+				N: s.n, Horizon: s.T, Slack: s.w, G: s.g,
+				Seed: cfg.Seed + int64(trial*77+s.n),
+			})
+			exact, err := activetime.SolveUnitExact(in)
+			if err == activetime.ErrInfeasible {
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			minimal, err := activetime.MinimalFeasible(in, activetime.MinimalOptions{
+				Strategy: activetime.CloseRightToLeft,
+			})
+			if err != nil {
+				return nil, err
+			}
+			rnd, err := activetime.RoundLP(in)
+			if err != nil {
+				return nil, err
+			}
+			used++
+			opt := float64(exact.Cost())
+			optSum += opt
+			minR = append(minR, float64(minimal.Cost())/opt)
+			rndR = append(rndR, float64(rnd.Opened)/opt)
+		}
+		meanMin, maxMin := meanMax(minR)
+		meanRnd, maxRnd := meanMax(rndR)
+		tab.AddRow(di(s.n), di(s.T), di(s.g), di(used), f2(optSum/float64(used)),
+			f3(meanMin), f3(maxMin), f3(meanRnd), f3(maxRnd))
+	}
+	return tab, nil
+}

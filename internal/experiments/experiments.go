@@ -1,0 +1,151 @@
+// Package experiments regenerates every figure- and theorem-level claim of
+// the paper as a measurable experiment (E1-E16; see DESIGN.md section 4 for
+// the full index). Each experiment returns a Table whose rows are measured
+// with the repository's own solvers and verifiers — gadget claims are
+// checked by constructing and verifying schedules, never by quoting
+// formulas alone. cmd/paperbench renders all tables; EXPERIMENTS.md records
+// a reference run.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's result.
+type Table struct {
+	ID      string
+	Title   string
+	Claim   string // the paper's claim being measured
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "paper claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, cell := range cells {
+			parts[i] = pad(cell, widths[i])
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Config scales the experiments.
+type Config struct {
+	// Quick shrinks sweeps for fast test runs.
+	Quick bool
+	// Seed feeds the random workloads.
+	Seed int64
+}
+
+// Runner is one registered experiment.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Config) (*Table, error)
+}
+
+// All returns every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "Fig3: minimal feasible vs optimal (Theorem 1)", E1MinimalFeasibleFig3},
+		{"E2", "LP rounding on random instances (Theorem 2)", E2LPRounding},
+		{"E3", "LP integrality gap (Section 3.5)", E3IntegralityGap},
+		{"E4", "Fig1: busy-time packing of seven jobs", E4Fig1},
+		{"E5", "Fig6/7: GreedyTracking tightness (Theorem 5)", E5Fig6GreedyTracking},
+		{"E6", "Fig8: interval 2-approximation tightness (Theorem 3/8)", E6Fig8PairCover},
+		{"E7", "Fig9: demand profile of the DP output (Lemma 7)", E7Fig9DemandProfile},
+		{"E8", "Fig10-12: flexible extension factor 4 (Theorem 10)", E8Fig10Flexible},
+		{"E9", "Preemptive unbounded greedy is exact (Theorem 6)", E9PreemptiveUnbounded},
+		{"E10", "Preemptive bounded 2-approximation (Theorem 7)", E10PreemptiveBounded},
+		{"E11", "Interval-job algorithm shootout", E11IntervalShootout},
+		{"E12", "Unit jobs: exact vs approximations", E12UnitActive},
+		{"E13", "Flexible busy-time pipeline", E13FlexiblePipeline},
+		{"E14", "Special interval classes (footnote 1)", E14SpecialCases},
+		{"E15", "Online busy time (Section 1.3 related work)", E15Online},
+		{"E16", "Wall-clock scaling of the polynomial algorithms", E16Scaling},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, bool) {
+	for _, r := range All() {
+		if strings.EqualFold(r.ID, id) {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// RunAll executes every experiment and renders it to w.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, r := range All() {
+		tab, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		tab.Render(w)
+	}
+	return nil
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v int64) string    { return fmt.Sprintf("%d", v) }
+func di(v int) string     { return fmt.Sprintf("%d", v) }
+func meanMax(xs []float64) (mean, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+		if x > max {
+			max = x
+		}
+	}
+	return mean / float64(len(xs)), max
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment in quick mode and checks the
+// tables are well-formed; the experiments themselves re-verify every
+// schedule, so a pass here is a full end-to-end check of the pipeline.
+func TestAllExperimentsQuick(t *testing.T) {
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(Config{Quick: true, Seed: 7})
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if tab.ID != r.ID {
+				t.Errorf("table ID %q, want %q", tab.ID, r.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Errorf("%s produced no rows", r.ID)
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("%s: row has %d cells, want %d", r.ID, len(row), len(tab.Columns))
+				}
+				for _, cell := range row {
+					if strings.Contains(cell, "VIOLATED") {
+						t.Errorf("%s: bound violated: %v", r.ID, row)
+					}
+				}
+			}
+			var buf bytes.Buffer
+			tab.Render(&buf)
+			if !strings.Contains(buf.String(), r.ID) {
+				t.Errorf("%s: render missing ID", r.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("e5"); !ok {
+		t.Error("ByID case-insensitive lookup failed")
+	}
+	if _, ok := ByID("E99"); ok {
+		t.Error("ByID found a nonexistent experiment")
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var buf bytes.Buffer
+	if err := RunAll(Config{Quick: true, Seed: 3}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range All() {
+		if !strings.Contains(buf.String(), r.ID+" — ") {
+			t.Errorf("RunAll output missing %s", r.ID)
+		}
+	}
+}

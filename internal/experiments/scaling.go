@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/activetime"
+	"repro/internal/busytime"
+	"repro/internal/gen"
+)
+
+// E16Scaling measures wall-clock growth of the polynomial algorithms as the
+// instance size grows — the systems-side complement to the approximation
+// tables. The paper states polynomial running times (in n and P for the
+// active-time algorithms, n log n-ish per track extraction); this records
+// what the implementation actually delivers on one core.
+func E16Scaling(cfg Config) (*Table, error) {
+	sizes := []int{100, 200, 400, 800}
+	if cfg.Quick {
+		sizes = []int{50, 100}
+	}
+	tab := &Table{
+		ID:    "E16",
+		Title: "Wall-clock scaling of the polynomial algorithms (single core)",
+		Claim: "all algorithms are polynomial; per-size medians of one run each",
+		Columns: []string{"n", "GreedyTracking", "PairCover", "FirstFit",
+			"Preempt-inf", "Preempt-g", "UnitExact", "MinFeasible(T=n)"},
+	}
+	timeIt := func(f func() error) (string, error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%.1fms", float64(time.Since(start).Microseconds())/1000), nil
+	}
+	for _, n := range sizes {
+		iv := gen.RandomInterval(gen.RandomConfig{
+			N: n, Horizon: 3 * n, MaxLen: 20, G: 4, Seed: cfg.Seed,
+		})
+		flex := gen.RandomFlexible(gen.RandomConfig{
+			N: n, Horizon: 3 * n, MaxLen: 10, Slack: 8, G: 4, Seed: cfg.Seed,
+		})
+		unit := gen.RandomUnit(gen.RandomConfig{
+			N: 2 * n, Horizon: n, Slack: 8, G: 4, Seed: cfg.Seed,
+		})
+		act := gen.RandomFlexible(gen.RandomConfig{
+			N: n / 2, Horizon: n, MaxLen: 4, Slack: 4, G: 4, Seed: cfg.Seed,
+		})
+		gt, err := timeIt(func() error {
+			_, err := busytime.GreedyTracking(iv, busytime.GTOptions{})
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		pc, err := timeIt(func() error { _, err := busytime.PairCover(iv); return err })
+		if err != nil {
+			return nil, err
+		}
+		ff, err := timeIt(func() error { _, err := busytime.FirstFit(iv); return err })
+		if err != nil {
+			return nil, err
+		}
+		pi, err := timeIt(func() error { _, err := busytime.PreemptiveUnbounded(flex); return err })
+		if err != nil {
+			return nil, err
+		}
+		pg, err := timeIt(func() error { _, err := busytime.PreemptiveBounded(flex); return err })
+		if err != nil {
+			return nil, err
+		}
+		ue, err := timeIt(func() error {
+			_, err := activetime.SolveUnitExact(unit)
+			if err == activetime.ErrInfeasible {
+				return nil
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		mf, err := timeIt(func() error {
+			_, err := activetime.MinimalFeasible(act, activetime.MinimalOptions{
+				Strategy: activetime.CloseRightToLeft,
+			})
+			if err == activetime.ErrInfeasible {
+				return nil
+			}
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		tab.AddRow(di(n), gt, pc, ff, pi, pg, ue, mf)
+	}
+	tab.Notes = append(tab.Notes,
+		"interval workloads: n jobs on horizon 3n; unit workloads use 2n jobs; active-time uses n/2 jobs on horizon n",
+		"timings are single measurements (see bench_output.txt for statistically sound numbers)")
+	return tab, nil
+}

@@ -1,0 +1,234 @@
+// Package flow implements Dinic's maximum-flow algorithm on directed graphs,
+// generic over integer and floating-point capacities.
+//
+// The active-time algorithms use it in two ways: with int64 capacities for
+// the feasibility network Gfeas of the paper (Figure 2), where integrality
+// of maximum flow turns a fractional assignment question into an integral
+// schedule; and with float64 capacities as the separation oracle of the
+// Benders-style cut-generation procedure that solves the active-time LP
+// (capacities y_t and g·y_t are fractional there). The busy-time flow-cover
+// 2-approximation also routes integral 2-unit flows through a job DAG.
+package flow
+
+// Capacity is the constraint satisfied by capacity types. It is restricted
+// to the exact types int64 and float64 (not named variants) so that internal
+// type switches are exhaustive.
+type Capacity interface {
+	int64 | float64
+}
+
+// edge is a directed arc with residual capacity cap; rev indexes the reverse
+// arc in adj[to].
+type edge[C Capacity] struct {
+	to, rev int
+	cap     C
+}
+
+// EdgeID identifies an edge added with AddEdge and remembers its original
+// capacity so the flow through it can be recovered after Max.
+type EdgeID[C Capacity] struct {
+	from, idx int
+	orig      C
+}
+
+// Network is a flow network. Create networks with NewNetwork; the zero value
+// has no nodes.
+type Network[C Capacity] struct {
+	adj   [][]edge[C]
+	eps   C // capacities <= eps are treated as exhausted (0 for int64)
+	level []int
+	iter  []int
+}
+
+// NewNetwork returns an empty network with n nodes. For float64 capacities,
+// eps should be a small positive tolerance (e.g. 1e-12); for int64 pass 0.
+func NewNetwork[C Capacity](n int, eps C) *Network[C] {
+	return &Network[C]{adj: make([][]edge[C], n), eps: eps}
+}
+
+// NumNodes returns the number of nodes in the network.
+func (g *Network[C]) NumNodes() int { return len(g.adj) }
+
+// AddNode appends a node and returns its index.
+func (g *Network[C]) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// AddEdge adds a directed edge from u to v with the given capacity (clamped
+// at zero) and returns an identifier usable with Flow after running Max.
+func (g *Network[C]) AddEdge(u, v int, cap C) EdgeID[C] {
+	if cap < 0 {
+		cap = 0
+	}
+	a := edge[C]{to: v, rev: len(g.adj[v]), cap: cap}
+	b := edge[C]{to: u, rev: len(g.adj[u]), cap: 0}
+	g.adj[u] = append(g.adj[u], a)
+	g.adj[v] = append(g.adj[v], b)
+	return EdgeID[C]{from: u, idx: len(g.adj[u]) - 1, orig: cap}
+}
+
+// Flow returns the amount of flow currently routed through the edge.
+func (g *Network[C]) Flow(id EdgeID[C]) C {
+	return id.orig - g.adj[id.from][id.idx].cap
+}
+
+// Residual returns the remaining capacity of the edge.
+func (g *Network[C]) Residual(id EdgeID[C]) C {
+	return g.adj[id.from][id.idx].cap
+}
+
+func (g *Network[C]) bfs(s, t int) bool {
+	for i := range g.level {
+		g.level[i] = -1
+	}
+	queue := make([]int, 0, len(g.adj))
+	queue = append(queue, s)
+	g.level[s] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[u] {
+			if e.cap > g.eps && g.level[e.to] < 0 {
+				g.level[e.to] = g.level[u] + 1
+				queue = append(queue, e.to)
+			}
+		}
+	}
+	return g.level[t] >= 0
+}
+
+func (g *Network[C]) dfs(u, t int, f C) C {
+	if u == t {
+		return f
+	}
+	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+		e := &g.adj[u][g.iter[u]]
+		if e.cap <= g.eps || g.level[e.to] != g.level[u]+1 {
+			continue
+		}
+		d := f
+		if e.cap < d {
+			d = e.cap
+		}
+		got := g.dfs(e.to, t, d)
+		if got > g.eps {
+			e.cap -= got
+			g.adj[e.to][e.rev].cap += got
+			return got
+		}
+	}
+	g.level[u] = -2 // dead end; skip on subsequent dfs calls in this phase
+	return 0
+}
+
+// Max computes the maximum flow from s to t, mutating the residual network.
+// It may be called once per network.
+func (g *Network[C]) Max(s, t int) C {
+	if s == t {
+		return 0
+	}
+	g.level = make([]int, len(g.adj))
+	g.iter = make([]int, len(g.adj))
+	var total C
+	var inf C
+	// A capacity larger than any finite path bottleneck.
+	switch p := any(&inf).(type) {
+	case *int64:
+		*p = 1 << 62
+	case *float64:
+		*p = 1e300
+	}
+	for g.bfs(s, t) {
+		for i := range g.iter {
+			g.iter[i] = 0
+		}
+		for {
+			f := g.dfs(s, t, inf)
+			if f <= g.eps {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}
+
+// MinCutSource returns the set of nodes reachable from s in the residual
+// network after Max has been run; this is the source side of a minimum cut.
+func (g *Network[C]) MinCutSource(s int) []bool {
+	seen := make([]bool, len(g.adj))
+	stack := []int{s}
+	seen[s] = true
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.adj[u] {
+			if e.cap > g.eps && !seen[e.to] {
+				seen[e.to] = true
+				stack = append(stack, e.to)
+			}
+		}
+	}
+	return seen
+}
+
+// PathEdge labels an edge for path decomposition.
+type PathEdge[C Capacity] struct {
+	ID    EdgeID[C]
+	Label int // caller-defined payload (e.g. job index, or -1 for skip arcs)
+}
+
+// DecomposePaths decomposes the flow currently carried by the given edges
+// into unit paths from s to t on a DAG and returns, per path, the labels of
+// the edges used (in path order). It requires integral per-edge flow values
+// (the int64 instantiation, or float flows that are near-integral) and a
+// graph in which the tracked edges form a DAG from s to t; both hold for the
+// busy-time flow-cover construction that uses it.
+func (g *Network[C]) DecomposePaths(s, t int, edges []PathEdge[C]) [][]int {
+	type arc struct {
+		to    int
+		label int
+		left  int64
+	}
+	out := make(map[int][]*arc)
+	var units int64
+	for _, pe := range edges {
+		f := g.Flow(pe.ID)
+		n := int64(float64(f) + 0.5) // exact for int64; rounds float flow
+		if n <= 0 {
+			continue
+		}
+		a := &arc{to: g.adj[pe.ID.from][pe.ID.idx].to, label: pe.Label, left: n}
+		out[pe.ID.from] = append(out[pe.ID.from], a)
+		if pe.ID.from == s {
+			units += n
+		}
+	}
+	var paths [][]int
+	for u := 0; int64(u) < units; u++ {
+		var labels []int
+		cur := s
+		for cur != t {
+			var next *arc
+			for _, a := range out[cur] {
+				if a.left > 0 {
+					next = a
+					break
+				}
+			}
+			if next == nil {
+				// Flow conservation violated (should not happen): abandon path.
+				labels = nil
+				break
+			}
+			next.left--
+			labels = append(labels, next.label)
+			cur = next.to
+		}
+		if labels != nil {
+			paths = append(paths, labels)
+		}
+	}
+	return paths
+}

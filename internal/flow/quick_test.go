@@ -1,0 +1,110 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The float64 engine must agree with the int64 engine on integer-capacity
+// graphs (same graphs, capacities cast).
+func TestQuickFloatMatchesInt(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		gi := NewNetwork[int64](n, 0)
+		gf := NewNetwork[float64](n, 1e-12)
+		for e := 0; e < 3*n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(12))
+			gi.AddEdge(u, v, c)
+			gf.AddEdge(u, v, float64(c))
+		}
+		wi := gi.Max(0, n-1)
+		wf := gf.Max(0, n-1)
+		return math.Abs(float64(wi)-wf) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scaling every capacity by a constant scales the max flow by the same
+// constant (float engine).
+func TestQuickFlowScales(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		type e struct {
+			u, v int
+			c    float64
+		}
+		var edges []e
+		for k := 0; k < 3*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			edges = append(edges, e{u, v, float64(rng.Intn(9))})
+		}
+		build := func(scale float64) float64 {
+			g := NewNetwork[float64](n, 1e-12)
+			for _, ed := range edges {
+				g.AddEdge(ed.u, ed.v, scale*ed.c)
+			}
+			return g.Max(0, n-1)
+		}
+		a, b := build(1), build(2.5)
+		return math.Abs(2.5*a-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Max flow is bounded by the total capacity leaving the source and entering
+// the sink, and is reported consistently with per-edge flows at the source.
+func TestQuickFlowConservationAtSource(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(7)
+		g := NewNetwork[int64](n, 0)
+		var srcEdges []EdgeID[int64]
+		var srcCap int64
+		for k := 0; k < 3*n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := int64(rng.Intn(10))
+			id := g.AddEdge(u, v, c)
+			if u == 0 {
+				srcEdges = append(srcEdges, id)
+				srcCap += c
+			}
+		}
+		total := g.Max(0, n-1)
+		if total > srcCap {
+			return false
+		}
+		var out int64
+		for _, id := range srcEdges {
+			fl := g.Flow(id)
+			if fl < 0 || fl > id.orig {
+				return false
+			}
+			out += fl
+		}
+		// Flow leaving the source through tracked edges equals the value
+		// unless there are edges INTO the source carrying return flow;
+		// since we only tracked outgoing edges, allow out >= total.
+		return out >= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,459 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Fig1 reproduces Figure 1 of the paper: seven interval jobs with unit
+// demand and g = 3 whose optimal busy-time packing uses two machines. The
+// returned schedule is the packing of Figure 1(B); its cost equals the
+// demand-profile lower bound (10 time units with this layout), so it is
+// provably optimal.
+func Fig1() (*core.Instance, *core.BusySchedule) {
+	in := &core.Instance{
+		Name: "fig1",
+		G:    3,
+		Jobs: []core.Job{
+			{ID: 1, Release: 3, Deadline: 6, Length: 3},
+			{ID: 2, Release: 0, Deadline: 6, Length: 6},
+			{ID: 3, Release: 1, Deadline: 4, Length: 3},
+			{ID: 4, Release: 2, Deadline: 5, Length: 3},
+			{ID: 5, Release: 4, Deadline: 6, Length: 2},
+			{ID: 6, Release: 1, Deadline: 5, Length: 4},
+			{ID: 7, Release: 0, Deadline: 2, Length: 2},
+		},
+	}
+	opt := &core.BusySchedule{Bundles: []core.Bundle{
+		{Placements: []core.Placement{{JobID: 2, Start: 0}, {JobID: 7, Start: 0}, {JobID: 1, Start: 3}, {JobID: 5, Start: 4}}},
+		{Placements: []core.Placement{{JobID: 3, Start: 1}, {JobID: 6, Start: 1}, {JobID: 4, Start: 2}}},
+	}}
+	return in, opt
+}
+
+// Fig3Gadget is the tight example for Theorem 1 (Figure 3): a minimal
+// feasible solution can cost 3g-2 while the optimum is g.
+type Fig3Gadget struct {
+	Instance *core.Instance
+	// OptOpen is an optimal set of active slots (cost g); BadOpen is the
+	// minimal feasible solution of cost 3g-2 drawn in the figure.
+	OptOpen, BadOpen []core.Time
+	// AdversarialFirst steers MinimalFeasible into BadOpen: closing slots
+	// g+1 and 2g first traps the two long jobs outside the full middle.
+	AdversarialFirst []core.Time
+	OptValue         core.Time
+	BadValue         core.Time
+}
+
+// Fig3 builds the Figure 3 gadget for a given g >= 3: two jobs of length g
+// with windows [0,2g) and [g,3g), g-2 rigid jobs of length g-2 with window
+// [g+1,2g-1), and two groups of g-2 unit jobs with windows [g+1,2g) and
+// [g,2g-1).
+func Fig3(g int) (*Fig3Gadget, error) {
+	if g < 3 {
+		return nil, fmt.Errorf("gen: Fig3 needs g >= 3, got %d", g)
+	}
+	G := core.Time(g)
+	var jobs []core.Job
+	id := 0
+	add := func(r, d, p core.Time) {
+		jobs = append(jobs, core.Job{ID: id, Release: r, Deadline: d, Length: p})
+		id++
+	}
+	add(0, 2*G, G) // long job A
+	add(G, 3*G, G) // long job B
+	for i := 0; i < g-2; i++ {
+		add(G+1, 2*G-1, G-2) // rigid middle jobs
+	}
+	for i := 0; i < g-2; i++ {
+		add(G+1, 2*G, 1) // unit jobs, late window
+	}
+	for i := 0; i < g-2; i++ {
+		add(G, 2*G-1, 1) // unit jobs, early window
+	}
+	in := &core.Instance{Name: fmt.Sprintf("fig3(g=%d)", g), G: g, Jobs: jobs}
+	var opt, bad []core.Time
+	for t := G + 1; t <= 2*G; t++ {
+		opt = append(opt, t)
+	}
+	for t := core.Time(1); t <= G; t++ {
+		bad = append(bad, t)
+	}
+	for t := G + 2; t <= 2*G-1; t++ {
+		bad = append(bad, t)
+	}
+	for t := 2*G + 1; t <= 3*G; t++ {
+		bad = append(bad, t)
+	}
+	return &Fig3Gadget{
+		Instance:         in,
+		OptOpen:          opt,
+		BadOpen:          bad,
+		AdversarialFirst: []core.Time{G + 1, 2 * G},
+		OptValue:         G,
+		BadValue:         3*G - 2,
+	}, nil
+}
+
+// IntegralityGap builds the Section 3.5 construction showing the LP1
+// integrality gap approaches 2: g pairs of adjacent slots, each with g+1
+// unit jobs confined to the pair. The integral optimum is 2g while the LP
+// optimum is g+1.
+func IntegralityGap(g int) *core.Instance {
+	var jobs []core.Job
+	id := 0
+	for k := 0; k < g; k++ {
+		base := core.Time(2 * k)
+		for c := 0; c <= g; c++ {
+			jobs = append(jobs, core.Job{ID: id, Release: base, Deadline: base + 2, Length: 1})
+			id++
+		}
+	}
+	return &core.Instance{Name: fmt.Sprintf("lp-gap(g=%d)", g), G: g, Jobs: jobs}
+}
+
+// Fig6Gadget is the tight example for GreedyTracking (Figures 6-7).
+type Fig6Gadget struct {
+	// Flexible is the original instance: per gadget, g interval jobs A at
+	// [O, O+U) and g interval jobs B at [O+U-eps, O+2U-eps), plus 2g
+	// flexible jobs of length U-eps/2 spanning everything.
+	Flexible *core.Instance
+	// Converted fixes the flexible jobs the way Figure 7's adversarial
+	// span-minimizing DP does: two per gadget, straddling the A/B overlap.
+	Converted *core.Instance
+	// Opt is the optimal packing: one bundle per identical group plus two
+	// bundles of stacked flexible jobs; its cost equals the mass bound, so
+	// it is provably optimal.
+	Opt *core.BusySchedule
+	// AdversarialGT is a legitimate GreedyTracking output on Converted
+	// under worst-case tie-breaking: every track is a maximum-length track
+	// at the time of its extraction, but consecutive tracks alternate
+	// between A and B copies so every bundle spans both groups of every
+	// gadget. Its cost approaches 3x optimal (the (6-o(eps))g of the
+	// paper).
+	AdversarialGT *core.BusySchedule
+	OptValue      core.Time
+}
+
+// Fig6 builds the Figure 6 gadget: g disjoint "gadgets" each holding two
+// groups of g identical unit jobs overlapping by eps, plus 2g flexible jobs.
+// unit must be even and eps < unit/2; eps must be even (the flexible length
+// is unit - eps/2).
+func Fig6(g int, unit, eps core.Time) (*Fig6Gadget, error) {
+	if g < 2 || eps <= 0 || eps%2 != 0 || eps >= unit/2 {
+		return nil, fmt.Errorf("gen: Fig6 needs g>=2 and even 0<eps<unit/2")
+	}
+	stride := 2 * unit // gadget i occupies [i*stride, i*stride+2*unit-eps)
+	flexLen := unit - eps/2
+	var jobs []core.Job
+	id := 0
+	add := func(r, d, p core.Time) int {
+		jobs = append(jobs, core.Job{ID: id, Release: r, Deadline: d, Length: p})
+		id++
+		return id - 1
+	}
+	// aIDs[i][k], bIDs[i][k]: the k-th copy of group A/B in gadget i.
+	aIDs := make([][]int, g)
+	bIDs := make([][]int, g)
+	for i := 0; i < g; i++ {
+		o := core.Time(i) * stride
+		for k := 0; k < g; k++ {
+			aIDs[i] = append(aIDs[i], add(o, o+unit, unit))
+		}
+		for k := 0; k < g; k++ {
+			bIDs[i] = append(bIDs[i], add(o+unit-eps, o+2*unit-eps, unit))
+		}
+	}
+	span := core.Time(g-1)*stride + 2*unit - eps
+	var flexIDs []int
+	for k := 0; k < 2*g; k++ {
+		flexIDs = append(flexIDs, add(0, span, flexLen))
+	}
+	flexible := &core.Instance{Name: fmt.Sprintf("fig6(g=%d,eps=%d/%d)", g, eps, unit), G: g, Jobs: jobs}
+
+	// Optimal packing: each identical group on its own machine; flexible
+	// jobs stacked g per machine at the far left.
+	opt := &core.BusySchedule{}
+	for i := 0; i < g; i++ {
+		o := core.Time(i) * stride
+		var pa, pb []core.Placement
+		for _, idp := range aIDs[i] {
+			pa = append(pa, core.Placement{JobID: idp, Start: o})
+		}
+		for _, idp := range bIDs[i] {
+			pb = append(pb, core.Placement{JobID: idp, Start: o + unit - eps})
+		}
+		opt.Bundles = append(opt.Bundles, core.Bundle{Placements: pa}, core.Bundle{Placements: pb})
+	}
+	for m := 0; m < 2; m++ {
+		var pf []core.Placement
+		for k := 0; k < g; k++ {
+			pf = append(pf, core.Placement{JobID: flexIDs[m*g+k], Start: 0})
+		}
+		opt.Bundles = append(opt.Bundles, core.Bundle{Placements: pf})
+	}
+	optValue := core.Time(2*g)*unit + 2*flexLen
+
+	// Adversarial conversion (Figure 7): flexible jobs fixed two per
+	// gadget, straddling the overlap region so they intersect every job of
+	// the gadget.
+	converted := flexible.Clone()
+	converted.Name = flexible.Name + "/dp-adversarial"
+	flexStart := func(i int, which int) core.Time {
+		o := core.Time(i) * stride
+		if which == 0 {
+			return o + unit - flexLen // ends exactly at o+unit
+		}
+		return o + unit - eps // starts at the B group start
+	}
+	for i := 0; i < g; i++ {
+		for w := 0; w < 2; w++ {
+			idp := flexIDs[2*i+w]
+			s := flexStart(i, w)
+			converted.Jobs[idp] = core.Job{ID: idp, Release: s, Deadline: s + flexLen, Length: flexLen}
+		}
+	}
+
+	// Adversarial GreedyTracking run on Converted: 2g unit tracks that
+	// alternate between A and B copies per gadget, then 2 flexible tracks.
+	adv := &core.BusySchedule{}
+	used := make([]int, 2*g) // per gadget: how many A (index 2i) / B (2i+1) copies consumed
+	for b := 0; b < 2; b++ {
+		var bundle core.Bundle
+		for k := 0; k < g; k++ { // track index within bundle
+			for i := 0; i < g; i++ {
+				pickA := (b*g+k+i)%2 == 0
+				var idp int
+				if pickA && used[2*i] < g {
+					idp = aIDs[i][used[2*i]]
+					used[2*i]++
+				} else if used[2*i+1] < g {
+					idp = bIDs[i][used[2*i+1]]
+					used[2*i+1]++
+				} else {
+					idp = aIDs[i][used[2*i]]
+					used[2*i]++
+				}
+				j := converted.Jobs[idp]
+				bundle.Placements = append(bundle.Placements, core.Placement{JobID: idp, Start: j.Release})
+			}
+		}
+		adv.Bundles = append(adv.Bundles, bundle)
+	}
+	var fb core.Bundle
+	for _, idp := range flexIDs {
+		j := converted.Jobs[idp]
+		fb.Placements = append(fb.Placements, core.Placement{JobID: idp, Start: j.Release})
+	}
+	adv.Bundles = append(adv.Bundles, fb)
+
+	return &Fig6Gadget{
+		Flexible:      flexible,
+		Converted:     converted,
+		Opt:           opt,
+		AdversarialGT: adv,
+		OptValue:      optValue,
+	}, nil
+}
+
+// Fig8Gadget is the tight example for the interval-job 2-approximation
+// (Figure 8, g = 2).
+type Fig8Gadget struct {
+	Instance *core.Instance
+	// Opt packs the two long jobs together and the three epsilon jobs
+	// together (cost unit+eps); Bad pairs each long job with epsilon jobs
+	// (cost 2*unit+eps), the "possible output" of Figure 8(B).
+	Opt, Bad *core.BusySchedule
+	OptValue core.Time
+	BadValue core.Time
+}
+
+// Fig8 builds Figure 8's five interval jobs with g=2: two of length unit at
+// [0,unit), one of length eps at [unit, unit+eps), one of length epsp and
+// one of length eps-epsp partitioning the same range. Requires
+// 0 < epsp < eps.
+func Fig8(unit, eps, epsp core.Time) (*Fig8Gadget, error) {
+	if epsp <= 0 || epsp >= eps || unit <= eps {
+		return nil, fmt.Errorf("gen: Fig8 needs 0 < epsp < eps < unit")
+	}
+	jobs := []core.Job{
+		{ID: 0, Release: 0, Deadline: unit, Length: unit},
+		{ID: 1, Release: 0, Deadline: unit, Length: unit},
+		{ID: 2, Release: unit, Deadline: unit + eps, Length: eps},
+		{ID: 3, Release: unit, Deadline: unit + epsp, Length: epsp},
+		{ID: 4, Release: unit + epsp, Deadline: unit + eps, Length: eps - epsp},
+	}
+	in := &core.Instance{Name: fmt.Sprintf("fig8(eps=%d,epsp=%d/%d)", eps, epsp, unit), G: 2, Jobs: jobs}
+	opt := &core.BusySchedule{Bundles: []core.Bundle{
+		{Placements: []core.Placement{{JobID: 0, Start: 0}, {JobID: 1, Start: 0}}},
+		{Placements: []core.Placement{{JobID: 2, Start: unit}, {JobID: 3, Start: unit}, {JobID: 4, Start: unit + epsp}}},
+	}}
+	bad := &core.BusySchedule{Bundles: []core.Bundle{
+		{Placements: []core.Placement{{JobID: 0, Start: 0}}},
+		{Placements: []core.Placement{{JobID: 1, Start: 0}, {JobID: 2, Start: unit},
+			{JobID: 3, Start: unit}, {JobID: 4, Start: unit + epsp}}},
+	}}
+	return &Fig8Gadget{
+		Instance: in,
+		Opt:      opt,
+		Bad:      bad,
+		OptValue: unit + eps,
+		BadValue: 2*unit + eps,
+	}, nil
+}
+
+// Fig9Gadget is the factor-2 example for the demand profile of the
+// unbounded-g dynamic program's output (Lemma 7, Figure 9).
+type Fig9Gadget struct {
+	// Flexible is the original instance; DPOutput fixes the flexible jobs
+	// overlaying the interval sets (the span-minimizer's unique output per
+	// the paper); OptLayout fixes them overlaying the first unit job (the
+	// layout an optimal bounded-g solution uses).
+	Flexible, DPOutput, OptLayout *core.Instance
+}
+
+// Fig9 builds the Figure 9 instance: one unit interval job; g-1 disjoint
+// sets of g identical interval jobs where set i has per-job length
+// unit+i*eps; and g-1 flexible jobs, the i-th of length unit+i*eps with a
+// window spanning everything up to the end of set i.
+func Fig9(g int, unit, eps core.Time) (*Fig9Gadget, error) {
+	if g < 2 || eps <= 0 || eps*core.Time(g) >= unit {
+		return nil, fmt.Errorf("gen: Fig9 needs g >= 2 and eps*g < unit")
+	}
+	var jobs []core.Job
+	id := 0
+	add := func(r, d, p core.Time) int {
+		jobs = append(jobs, core.Job{ID: id, Release: r, Deadline: d, Length: p})
+		id++
+		return id - 1
+	}
+	add(0, unit, unit)               // the lone unit job
+	setStart := make([]core.Time, g) // 1-based sets
+	cursor := unit
+	for i := 1; i < g; i++ {
+		setStart[i] = cursor
+		l := unit + core.Time(i)*eps
+		for k := 0; k < g; k++ {
+			add(cursor, cursor+l, l)
+		}
+		cursor += l
+	}
+	flexIDs := make([]int, g)
+	for i := 1; i < g; i++ {
+		l := unit + core.Time(i)*eps
+		end := setStart[i] + l // end of set i
+		flexIDs[i] = add(0, end, l)
+	}
+	flexible := &core.Instance{Name: fmt.Sprintf("fig9(g=%d,eps=%d/%d)", g, eps, unit), G: g, Jobs: jobs}
+
+	dpOut := flexible.Clone()
+	dpOut.Name += "/dp-output"
+	for i := 1; i < g; i++ {
+		idp := flexIDs[i]
+		l := jobs[idp].Length
+		dpOut.Jobs[idp] = core.Job{ID: idp, Release: setStart[i], Deadline: setStart[i] + l, Length: l}
+	}
+	optLayout := flexible.Clone()
+	optLayout.Name += "/opt-layout"
+	for i := 1; i < g; i++ {
+		idp := flexIDs[i]
+		l := jobs[idp].Length
+		optLayout.Jobs[idp] = core.Job{ID: idp, Release: 0, Deadline: l, Length: l}
+	}
+	return &Fig9Gadget{Flexible: flexible, DPOutput: dpOut, OptLayout: optLayout}, nil
+}
+
+// Fig10Gadget is the factor-4 example for extending the interval 2-
+// approximation to flexible jobs (Theorem 10, Figures 10-12).
+type Fig10Gadget struct {
+	Flexible *core.Instance
+	// Converted places each flexible job over a distinct gadget, the
+	// adversarial span-minimizer output of Figure 11.
+	Converted *core.Instance
+	// Opt packs the flexible jobs with the first unit job; its cost is
+	// OptValue = g*unit + (g-1)*eps.
+	Opt      *core.BusySchedule
+	OptValue core.Time
+}
+
+// Fig10 builds the Figures 10-12 instance: one unit interval job, g-1
+// disjoint copies of the gadget (g unit interval jobs, 2g-2 interval jobs
+// of length eps, two of length epsp, two of length eps-epsp), and g-1 unit
+// flexible jobs spanning everything.
+func Fig10(g int, unit, eps, epsp core.Time) (*Fig10Gadget, error) {
+	if g < 2 || epsp <= 0 || epsp >= eps || eps >= unit {
+		return nil, fmt.Errorf("gen: Fig10 needs g >= 2 and 0 < epsp < eps < unit")
+	}
+	var jobs []core.Job
+	id := 0
+	add := func(r, d, p core.Time) int {
+		jobs = append(jobs, core.Job{ID: id, Release: r, Deadline: d, Length: p})
+		id++
+		return id - 1
+	}
+	firstUnit := add(0, unit, unit)
+	stride := 2*unit + eps + unit // gadget block plus a gap of unit
+	gadgetStart := make([]core.Time, g)
+	unitIDs := make([][]int, g)
+	epsIDs := make([][]int, g)
+	epspIDs := make([][]int, g)
+	restIDs := make([][]int, g)
+	for i := 1; i < g; i++ {
+		o := unit + unit + core.Time(i-1)*stride // gap of unit after the first job
+		gadgetStart[i] = o
+		for k := 0; k < g; k++ {
+			unitIDs[i] = append(unitIDs[i], add(o, o+unit, unit))
+		}
+		for k := 0; k < 2*g-2; k++ {
+			epsIDs[i] = append(epsIDs[i], add(o+unit, o+unit+eps, eps))
+		}
+		for k := 0; k < 2; k++ {
+			epspIDs[i] = append(epspIDs[i], add(o+unit, o+unit+epsp, epsp))
+		}
+		for k := 0; k < 2; k++ {
+			restIDs[i] = append(restIDs[i], add(o+unit+epsp, o+unit+eps, eps-epsp))
+		}
+	}
+	span := gadgetStart[g-1] + unit + eps
+	flexIDs := make([]int, g)
+	for i := 1; i < g; i++ {
+		flexIDs[i] = add(0, span, unit)
+	}
+	flexible := &core.Instance{Name: fmt.Sprintf("fig10(g=%d,eps=%d,epsp=%d/%d)", g, eps, epsp, unit), G: g, Jobs: jobs}
+
+	converted := flexible.Clone()
+	converted.Name += "/dp-adversarial"
+	for i := 1; i < g; i++ {
+		idp := flexIDs[i]
+		o := gadgetStart[i]
+		converted.Jobs[idp] = core.Job{ID: idp, Release: o, Deadline: o + unit, Length: unit}
+	}
+
+	// Optimal packing: flexible jobs stacked on the first unit job; per
+	// gadget, the g unit jobs on one machine and the 2g+2 small jobs split
+	// into two machines of concurrency exactly g.
+	opt := &core.BusySchedule{}
+	first := core.Bundle{Placements: []core.Placement{{JobID: firstUnit, Start: 0}}}
+	for i := 1; i < g; i++ {
+		first.Placements = append(first.Placements, core.Placement{JobID: flexIDs[i], Start: 0})
+	}
+	opt.Bundles = append(opt.Bundles, first)
+	place := func(b *core.Bundle, ids ...int) {
+		for _, idp := range ids {
+			b.Placements = append(b.Placements, core.Placement{JobID: idp, Start: flexible.Jobs[idp].Release})
+		}
+	}
+	for i := 1; i < g; i++ {
+		var units, s1, s2 core.Bundle
+		place(&units, unitIDs[i]...)
+		half := len(epsIDs[i]) / 2 // g-1 eps jobs per small bundle
+		place(&s1, epsIDs[i][:half]...)
+		place(&s1, epspIDs[i][0], restIDs[i][0])
+		place(&s2, epsIDs[i][half:]...)
+		place(&s2, epspIDs[i][1], restIDs[i][1])
+		opt.Bundles = append(opt.Bundles, units, s1, s2)
+	}
+	optValue := core.Time(g)*unit + 2*core.Time(g-1)*eps
+	return &Fig10Gadget{Flexible: flexible, Converted: converted, Opt: opt, OptValue: optValue}, nil
+}

@@ -1,0 +1,325 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/activetime"
+	"repro/internal/busytime"
+	"repro/internal/core"
+	"repro/internal/intervals"
+)
+
+func busyCost(t *testing.T, in *core.Instance, s *core.BusySchedule) core.Time {
+	t.Helper()
+	if err := core.VerifyBusy(in, s); err != nil {
+		t.Fatalf("schedule invalid: %v", err)
+	}
+	c, err := s.Cost(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFig1OptimalPacking(t *testing.T) {
+	in, opt := Fig1()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cost := busyCost(t, in, opt)
+	if dep := busytime.DemandProfileBound(in); cost != dep {
+		t.Errorf("Fig1 packing cost %d != demand profile %d (not provably optimal)", cost, dep)
+	}
+	exact, err := busytime.SolveExactInterval(in, busytime.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec := busyCost(t, in, exact); ec != cost {
+		t.Errorf("exact OPT %d != Figure 1 packing %d", ec, cost)
+	}
+	if len(opt.Bundles) != 2 {
+		t.Errorf("Figure 1 uses 2 machines, packing has %d", len(opt.Bundles))
+	}
+}
+
+func TestFig3GadgetClaims(t *testing.T) {
+	for _, g := range []int{3, 4, 5} {
+		gd, err := Fig3(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := gd.Instance
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if !activetime.CheckFeasible(in, gd.OptOpen) {
+			t.Errorf("g=%d: claimed optimal slot set infeasible", g)
+		}
+		if core.Time(len(gd.OptOpen)) != gd.OptValue {
+			t.Errorf("g=%d: |OptOpen| = %d, want %d", g, len(gd.OptOpen), gd.OptValue)
+		}
+		if !activetime.IsMinimalFeasible(in, gd.BadOpen) {
+			t.Errorf("g=%d: claimed bad solution not minimal feasible", g)
+		}
+		if core.Time(len(gd.BadOpen)) != gd.BadValue {
+			t.Errorf("g=%d: |BadOpen| = %d, want %d", g, len(gd.BadOpen), gd.BadValue)
+		}
+		// The adversarial closing order reproduces the bad value
+		// algorithmically.
+		sched, err := activetime.MinimalFeasible(in, activetime.MinimalOptions{
+			First:    gd.AdversarialFirst,
+			Strategy: activetime.CloseLeftToRight,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.Cost() != gd.BadValue {
+			t.Errorf("g=%d: adversarial MinimalFeasible cost %d, want %d",
+				g, sched.Cost(), gd.BadValue)
+		}
+		// Optimality of OptValue for small g via exact search.
+		if g == 3 {
+			exact, err := activetime.SolveExact(in, activetime.ExactOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact.Cost() != gd.OptValue {
+				t.Errorf("g=3: exact OPT %d, want %d", exact.Cost(), gd.OptValue)
+			}
+		}
+	}
+}
+
+func TestIntegralityGapClaims(t *testing.T) {
+	for _, g := range []int{2, 3, 4} {
+		in := IntegralityGap(g)
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		exact, err := activetime.SolveUnitExact(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if exact.Cost() != core.Time(2*g) {
+			t.Errorf("g=%d: IP optimum %d, want %d", g, exact.Cost(), 2*g)
+		}
+		lpres, err := activetime.SolveLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lpres.Objective-float64(g+1)) > 1e-5 {
+			t.Errorf("g=%d: LP optimum %v, want %d", g, lpres.Objective, g+1)
+		}
+	}
+}
+
+func TestFig6GadgetClaims(t *testing.T) {
+	g, unit, eps := 3, core.Time(1000), core.Time(20)
+	gd, err := Fig6(g, unit, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gd.Flexible.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := gd.Converted.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !gd.Converted.AllInterval() {
+		t.Error("converted instance is not all interval jobs")
+	}
+	optCost := busyCost(t, gd.Flexible, gd.Opt)
+	if optCost != gd.OptValue {
+		t.Errorf("opt packing cost %d, want %d", optCost, gd.OptValue)
+	}
+	// Optimality certificate: the packing meets the mass bound exactly.
+	if mb := busytime.MassBound(gd.Flexible); math.Abs(float64(optCost)-mb) > 1e-9 {
+		t.Errorf("opt packing %d does not meet mass bound %v", optCost, mb)
+	}
+	advCost := busyCost(t, gd.Flexible, gd.AdversarialGT)
+	want := 6*core.Time(g)*unit - 4*core.Time(g)*eps
+	if advCost != want {
+		t.Errorf("adversarial GT cost %d, want %d", advCost, want)
+	}
+	// The ratio is (6g-o(eps))/(2g+2-o(eps)) and must approach 3 with g.
+	prevRatio := 0.0
+	for _, gg := range []int{3, 6, 12, 24} {
+		gdg, err := Fig6(gg, unit, eps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oc := busyCost(t, gdg.Flexible, gdg.Opt)
+		ac := busyCost(t, gdg.Flexible, gdg.AdversarialGT)
+		ratio := float64(ac) / float64(oc)
+		approx := 6 * float64(gg) / (2*float64(gg) + 2)
+		if math.Abs(ratio-approx) > 0.1 {
+			t.Errorf("g=%d: adversarial ratio %.3f, want about %.3f", gg, ratio, approx)
+		}
+		if ratio <= prevRatio {
+			t.Errorf("g=%d: ratio %.3f did not increase toward 3", gg, ratio)
+		}
+		prevRatio = ratio
+	}
+	if prevRatio < 2.75 {
+		t.Errorf("ratio at g=24 is %.3f, should be approaching 3", prevRatio)
+	}
+	// The converted instance's span must equal the flexible optimum span
+	// achieved by stacking per gadget (sanity, not a paper claim).
+	if sp := intervals.Span(gd.Converted.Jobs); sp != core.Time(g)*(2*unit-eps) {
+		t.Errorf("converted span %d, want %d", sp, core.Time(g)*(2*unit-eps))
+	}
+}
+
+func TestFig8GadgetClaims(t *testing.T) {
+	unit, eps, epsp := core.Time(1000), core.Time(60), core.Time(25)
+	gd, err := Fig8(unit, eps, epsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optCost := busyCost(t, gd.Instance, gd.Opt)
+	badCost := busyCost(t, gd.Instance, gd.Bad)
+	if optCost != gd.OptValue || badCost != gd.BadValue {
+		t.Errorf("costs (%d,%d), want (%d,%d)", optCost, badCost, gd.OptValue, gd.BadValue)
+	}
+	exact, err := busytime.SolveExactInterval(gd.Instance, busytime.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ec := busyCost(t, gd.Instance, exact); ec != optCost {
+		t.Errorf("exact OPT %d != claimed opt %d", ec, optCost)
+	}
+	if r := float64(badCost) / float64(optCost); r < 1.8 {
+		t.Errorf("bad/opt ratio %.3f, want near 2", r)
+	}
+}
+
+func TestFig9GadgetClaims(t *testing.T) {
+	g, unit, eps := 4, core.Time(1000), core.Time(10)
+	gd, err := Fig9(g, unit, eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []*core.Instance{gd.Flexible, gd.DPOutput, gd.OptLayout} {
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !gd.DPOutput.AllInterval() || !gd.OptLayout.AllInterval() {
+		t.Fatal("layouts must be interval instances")
+	}
+	dpDeP := busytime.DemandProfileBound(gd.DPOutput)
+	wantDP := core.Time(2*g-1)*unit + core.Time(g)*core.Time(g-1)*eps
+	if dpDeP != wantDP {
+		t.Errorf("DeP(DP output) = %d, want %d (paper: 2g-1 + g(g-1)eps)", dpDeP, wantDP)
+	}
+	// The DP output's span is minimal: it equals the span lower bound of
+	// the flexible instance (each flexible job hides entirely inside a
+	// set), so no layout can have smaller span.
+	if sp, want := busytime.SpanBound(gd.DPOutput), busytime.SpanBound(gd.OptLayout)-core.Time(g-1)*eps; sp > want+eps*core.Time(g)*core.Time(g) {
+		t.Logf("DP span %d vs opt layout span %d", sp, want)
+	}
+	optDeP := busytime.DemandProfileBound(gd.OptLayout)
+	ratio := float64(dpDeP) / float64(optDeP)
+	if ratio < 1.6 || ratio > 2.0 {
+		t.Errorf("DeP ratio %.3f, want in (1.6, 2.0] approaching 2", ratio)
+	}
+}
+
+func TestFig10GadgetClaims(t *testing.T) {
+	g, unit, eps, epsp := 3, core.Time(1000), core.Time(40), core.Time(15)
+	gd, err := Fig10(g, unit, eps, epsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gd.Flexible.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !gd.Converted.AllInterval() {
+		t.Fatal("converted instance must be all interval")
+	}
+	optCost := busyCost(t, gd.Flexible, gd.Opt)
+	if optCost != gd.OptValue {
+		t.Errorf("opt cost %d, want %d", optCost, gd.OptValue)
+	}
+	// Running the 2-approximation on the adversarial conversion must stay
+	// within 4x the optimum (Theorem 10 upper bound)...
+	pc, err := busytime.PairCover(gd.Converted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcCost := busyCost(t, gd.Flexible, pc)
+	if pcCost > 4*optCost {
+		t.Errorf("PairCover on adversarial conversion: %d > 4*OPT = %d", pcCost, 4*optCost)
+	}
+	// ...and at least the conversion's own demand-profile floor, which
+	// already exceeds the true optimum.
+	if dep := busytime.DemandProfileBound(gd.Converted); pcCost < dep {
+		t.Errorf("PairCover %d below conversion DeP %d", pcCost, dep)
+	}
+}
+
+func TestRandomFamiliesShape(t *testing.T) {
+	cfg := RandomConfig{N: 20, Horizon: 50, MaxLen: 6, Slack: 4, G: 3, Seed: 9}
+	flex := RandomFlexible(cfg)
+	if err := flex.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	iv := RandomInterval(cfg)
+	if err := iv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !iv.AllInterval() {
+		t.Error("RandomInterval produced flexible jobs")
+	}
+	unit := RandomUnit(cfg)
+	if err := unit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !unit.AllUnit() {
+		t.Error("RandomUnit produced non-unit jobs")
+	}
+	clique := RandomClique(cfg)
+	if err := clique.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mid := core.Time(cfg.Horizon / 2)
+	for _, j := range clique.Jobs {
+		if !(j.Release < mid && j.Deadline > mid) && j.Release != mid {
+			t.Errorf("clique job %v misses common point %d", j, mid)
+		}
+	}
+	proper := RandomProper(cfg)
+	if err := proper.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(proper.Jobs); i++ {
+		a, b := proper.Jobs[i-1], proper.Jobs[i]
+		if b.Release < a.Release || b.Deadline < a.Deadline {
+			t.Errorf("proper violated: %v then %v", a, b)
+		}
+	}
+	laminar := RandomLaminar(cfg)
+	if err := laminar.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(laminar.Jobs); i++ {
+		for k := i + 1; k < len(laminar.Jobs); k++ {
+			a, b := laminar.Jobs[i].Window(), laminar.Jobs[k].Window()
+			if a.Overlaps(b) {
+				aInB := b.Start <= a.Start && a.End <= b.End
+				bInA := a.Start <= b.Start && b.End <= a.End
+				if !aInB && !bInA {
+					t.Errorf("laminar violated: %v vs %v", a, b)
+				}
+			}
+		}
+	}
+	// Determinism: same seed, same instance.
+	again := RandomFlexible(cfg)
+	for i := range flex.Jobs {
+		if flex.Jobs[i] != again.Jobs[i] {
+			t.Fatal("RandomFlexible not deterministic for fixed seed")
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package intervals provides the interval geometry used throughout the
+// busy-time algorithms: span and mass of job sets (Definitions 9-10 of the
+// paper), interesting intervals and the demand profile lower bound
+// (Definitions 11-13, Observation 4), proper subsets (the Q_i extraction in
+// the proof of Theorem 5), and maximum-length track extraction via weighted
+// interval scheduling (Definition 14).
+package intervals
+
+import (
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Span returns the span of a set of interval jobs: the measure of the
+// projection of their execution intervals onto the time axis (Definition 10
+// generalized to sets).
+func Span(jobs []core.Job) core.Time {
+	ivs := make([]core.Interval, 0, len(jobs))
+	for _, j := range jobs {
+		ivs = append(ivs, j.Window())
+	}
+	return core.UnionMeasure(ivs)
+}
+
+// Mass returns the total length ℓ(S) of the jobs.
+func Mass(jobs []core.Job) core.Time {
+	var m core.Time
+	for _, j := range jobs {
+		m += j.Length
+	}
+	return m
+}
+
+// Boundaries returns the sorted distinct endpoints (releases and deadlines)
+// of the jobs' windows.
+func Boundaries(jobs []core.Job) []core.Time {
+	set := make(map[core.Time]bool, 2*len(jobs))
+	for _, j := range jobs {
+		set[j.Release] = true
+		set[j.Deadline] = true
+	}
+	out := make([]core.Time, 0, len(set))
+	for t := range set {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i] < out[k] })
+	return out
+}
+
+// InterestingInterval is a maximal interval within which no job begins or
+// ends (Definition 12), annotated with its raw demand |A(I)| (the number of
+// interval jobs active throughout it).
+type InterestingInterval struct {
+	Span      core.Interval
+	RawDemand int
+}
+
+// InterestingIntervals computes the interesting intervals of a set of
+// interval jobs, including zero-demand gaps between the first release and
+// the last deadline. There are at most 2n-1 of them.
+func InterestingIntervals(jobs []core.Job) []InterestingInterval {
+	bounds := Boundaries(jobs)
+	if len(bounds) < 2 {
+		return nil
+	}
+	out := make([]InterestingInterval, 0, len(bounds)-1)
+	for i := 0; i+1 < len(bounds); i++ {
+		iv := core.Interval{Start: bounds[i], End: bounds[i+1]}
+		demand := 0
+		for _, j := range jobs {
+			if j.Release <= iv.Start && j.Deadline >= iv.End {
+				demand++
+			}
+		}
+		out = append(out, InterestingInterval{Span: iv, RawDemand: demand})
+	}
+	return out
+}
+
+// DemandProfile is the demand profile DeP(J) of Definition 13: the
+// interesting intervals with their demands D(I) = ceil(|A(I)|/g).
+type DemandProfile struct {
+	G         int
+	Intervals []InterestingInterval
+}
+
+// NewDemandProfile computes the demand profile of a set of interval jobs.
+func NewDemandProfile(jobs []core.Job, g int) DemandProfile {
+	return DemandProfile{G: g, Intervals: InterestingIntervals(jobs)}
+}
+
+// Demand returns D(I) = ceil(raw/g) for interval index i.
+func (dp DemandProfile) Demand(i int) int {
+	return ceilDiv(dp.Intervals[i].RawDemand, dp.G)
+}
+
+// Cost returns the demand-profile lower bound sum_i D(I_i) * |I_i|
+// (Observation 4): no feasible busy-time schedule of the interval jobs can
+// be cheaper.
+func (dp DemandProfile) Cost() core.Time {
+	var total core.Time
+	for i, iv := range dp.Intervals {
+		total += core.Time(dp.Demand(i)) * iv.Span.Len()
+	}
+	return total
+}
+
+// MaxDemand returns the maximum demand over the profile.
+func (dp DemandProfile) MaxDemand() int {
+	max := 0
+	for i := range dp.Intervals {
+		if d := dp.Demand(i); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+func ceilDiv(a, g int) int {
+	if a <= 0 {
+		return 0
+	}
+	return (a + g - 1) / g
+}
+
+// ProperSubset implements the extraction used in the proof of Theorem 5:
+// given a bundle of interval jobs, it returns a subset Q with the same span
+// such that at most two jobs of Q are live at any point in time. The paper
+// charges Sp(B_i) <= ℓ(Q_i) <= 2 ℓ(T*) with this subset.
+func ProperSubset(jobs []core.Job) []core.Job {
+	if len(jobs) == 0 {
+		return nil
+	}
+	// Drop jobs whose window is contained in another's; the remainder is a
+	// "proper" instance sorted by release with strictly increasing deadlines.
+	proper := ProperJobs(jobs)
+	var out []core.Job
+	i := 0
+	for i < len(proper) {
+		last := i
+		if len(out) > 0 {
+			dmax := out[len(out)-1].Deadline
+			// Jobs live at dmax form a prefix of the remainder (releases are
+			// sorted); pick the one with the latest deadline, i.e. the last.
+			found := false
+			for k := i; k < len(proper) && proper[k].Release < dmax; k++ {
+				last = k
+				found = true
+			}
+			if !found {
+				last = i // gap in coverage: restart from the earliest job
+			}
+		}
+		out = append(out, proper[last])
+		i = last + 1
+	}
+	return out
+}
+
+// ProperJobs removes every job whose window is contained in another job's
+// window and returns the rest sorted by release time (ties: longer first).
+// The result is a "proper" instance: if r_j < r_i then d_j <= d_i.
+func ProperJobs(jobs []core.Job) []core.Job {
+	sorted := make([]core.Job, len(jobs))
+	copy(sorted, jobs)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Release != sorted[b].Release {
+			return sorted[a].Release < sorted[b].Release
+		}
+		return sorted[a].Deadline > sorted[b].Deadline
+	})
+	var out []core.Job
+	var dmax core.Time
+	first := true
+	for _, j := range sorted {
+		if !first && j.Deadline <= dmax {
+			continue // contained in a previously kept job's window
+		}
+		out = append(out, j)
+		dmax = j.Deadline
+		first = false
+	}
+	return out
+}
+
+// MaxLiveOverlap returns the maximum number of the jobs' windows sharing a
+// common point (used by tests to check the two-live property of
+// ProperSubset).
+func MaxLiveOverlap(jobs []core.Job) int {
+	ivs := make([]core.Interval, 0, len(jobs))
+	for _, j := range jobs {
+		ivs = append(ivs, j.Window())
+	}
+	return core.MaxConcurrency(ivs)
+}
+
+// TieBreak selects among equally long tracks during extraction.
+type TieBreak int
+
+const (
+	// TieBenign prefers excluding a job on ties, yielding tracks with fewer,
+	// longer jobs.
+	TieBenign TieBreak = iota
+	// TieAdversarial prefers including a job on ties, yielding tracks with
+	// many short jobs; the Figure 6 gadget uses it to drive GreedyTracking
+	// toward its worst case.
+	TieAdversarial
+)
+
+// MaxTrack returns a maximum-length track of the given interval jobs: a set
+// of pairwise-disjoint jobs maximizing total length (Definition 14), found
+// by the classical weighted-interval-scheduling dynamic program. The second
+// return value is the track's total length.
+func MaxTrack(jobs []core.Job, tb TieBreak) ([]core.Job, core.Time) {
+	n := len(jobs)
+	if n == 0 {
+		return nil, 0
+	}
+	sorted := make([]core.Job, n)
+	copy(sorted, jobs)
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Deadline != sorted[b].Deadline {
+			return sorted[a].Deadline < sorted[b].Deadline
+		}
+		return sorted[a].Release < sorted[b].Release
+	})
+	// pred[k]: the largest index i < k with sorted[i].Deadline <=
+	// sorted[k].Release, or -1.
+	pred := make([]int, n)
+	ends := make([]core.Time, n)
+	for i, j := range sorted {
+		ends[i] = j.Deadline
+	}
+	for k, j := range sorted {
+		lo, hi := 0, k // search in [0,k)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ends[mid] <= j.Release {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		pred[k] = lo - 1
+	}
+	dp := make([]core.Time, n+1)
+	take := make([]bool, n+1)
+	for k := 1; k <= n; k++ {
+		skip := dp[k-1]
+		with := sorted[k-1].Length
+		if pred[k-1] >= 0 {
+			with += dp[pred[k-1]+1]
+		}
+		switch {
+		case with > skip:
+			dp[k], take[k] = with, true
+		case with == skip && tb == TieAdversarial:
+			dp[k], take[k] = with, true
+		default:
+			dp[k], take[k] = skip, false
+		}
+	}
+	var track []core.Job
+	for k := n; k > 0; {
+		if take[k] {
+			track = append(track, sorted[k-1])
+			k = pred[k-1] + 1
+		} else {
+			k--
+		}
+	}
+	// Reverse into chronological order.
+	for i, j := 0, len(track)-1; i < j; i, j = i+1, j-1 {
+		track[i], track[j] = track[j], track[i]
+	}
+	return track, dp[n]
+}

@@ -1,0 +1,179 @@
+package intervals
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func job(id int, r, d core.Time) core.Job {
+	return core.Job{ID: id, Release: r, Deadline: d, Length: d - r}
+}
+
+func TestSpanAndMass(t *testing.T) {
+	jobs := []core.Job{job(0, 0, 4), job(1, 2, 6), job(2, 8, 9)}
+	if got := Span(jobs); got != 7 {
+		t.Errorf("Span = %d, want 7", got)
+	}
+	if got := Mass(jobs); got != 9 {
+		t.Errorf("Mass = %d, want 9", got)
+	}
+}
+
+func TestInterestingIntervals(t *testing.T) {
+	jobs := []core.Job{job(0, 0, 4), job(1, 2, 6), job(2, 8, 9)}
+	iis := InterestingIntervals(jobs)
+	// Boundaries 0,2,4,6,8,9 -> 5 interesting intervals.
+	if len(iis) != 5 {
+		t.Fatalf("got %d interesting intervals, want 5: %+v", len(iis), iis)
+	}
+	wantDemand := []int{1, 2, 1, 0, 1}
+	for i, ii := range iis {
+		if ii.RawDemand != wantDemand[i] {
+			t.Errorf("interval %v raw demand = %d, want %d", ii.Span, ii.RawDemand, wantDemand[i])
+		}
+	}
+}
+
+func TestDemandProfileCost(t *testing.T) {
+	// Two stacked pairs of unit jobs, g=2: demand 1 over [0,1) and [1,2).
+	jobs := []core.Job{job(0, 0, 1), job(1, 0, 1), job(2, 1, 2), job(3, 1, 2), job(4, 0, 2)}
+	dp := NewDemandProfile(jobs, 2)
+	// Raw demand 3 on each half -> ceil(3/2)=2 per unit interval -> cost 4.
+	if got := dp.Cost(); got != 4 {
+		t.Errorf("DeP cost = %d, want 4", got)
+	}
+	if dp.MaxDemand() != 2 {
+		t.Errorf("MaxDemand = %d, want 2", dp.MaxDemand())
+	}
+}
+
+func TestProperJobs(t *testing.T) {
+	jobs := []core.Job{job(0, 0, 10), job(1, 2, 5), job(2, 1, 11), job(3, 4, 12)}
+	got := ProperJobs(jobs)
+	// job1 ⊆ job0 ⊆ job2? windows: [0,10),[2,5),[1,11),[4,12).
+	// [2,5) ⊆ [0,10); [0,10) ⊄ [1,11). Kept: [0,10), [1,11), [4,12).
+	if len(got) != 3 {
+		t.Fatalf("ProperJobs = %v, want 3 jobs", got)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Release < got[i-1].Release || got[i].Deadline <= got[i-1].Deadline {
+			t.Errorf("not proper-sorted: %v", got)
+		}
+	}
+}
+
+func TestProperSubsetProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(12)
+		jobs := make([]core.Job, n)
+		for i := range jobs {
+			s := core.Time(rng.Intn(30))
+			jobs[i] = job(i, s, s+1+core.Time(rng.Intn(10)))
+		}
+		q := ProperSubset(jobs)
+		if Span(q) != Span(jobs) {
+			t.Fatalf("trial %d: span %d != %d for %v -> %v",
+				trial, Span(q), Span(jobs), jobs, q)
+		}
+		if MaxLiveOverlap(q) > 2 {
+			t.Fatalf("trial %d: %d jobs live at once in %v", trial, MaxLiveOverlap(q), q)
+		}
+	}
+}
+
+func TestMaxTrackSimple(t *testing.T) {
+	jobs := []core.Job{job(0, 0, 3), job(1, 2, 6), job(2, 3, 7), job(3, 7, 8)}
+	track, length := MaxTrack(jobs, TieBenign)
+	// Best: [0,3)+[3,7)+[7,8) = length 8.
+	if length != 8 {
+		t.Fatalf("track length = %d, want 8 (track %v)", length, track)
+	}
+	if len(track) != 3 {
+		t.Errorf("track = %v, want 3 jobs", track)
+	}
+	for i := 1; i < len(track); i++ {
+		if track[i].Release < track[i-1].Deadline {
+			t.Errorf("track not disjoint: %v", track)
+		}
+	}
+}
+
+func TestMaxTrackEmpty(t *testing.T) {
+	track, length := MaxTrack(nil, TieBenign)
+	if track != nil || length != 0 {
+		t.Errorf("empty MaxTrack = (%v,%d)", track, length)
+	}
+}
+
+// bruteMaxTrack enumerates all subsets.
+func bruteMaxTrack(jobs []core.Job) core.Time {
+	n := len(jobs)
+	var best core.Time
+	for mask := 0; mask < 1<<n; mask++ {
+		var chosen []core.Job
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				chosen = append(chosen, jobs[i])
+			}
+		}
+		ok := true
+		for i := 0; i < len(chosen) && ok; i++ {
+			for k := i + 1; k < len(chosen); k++ {
+				if chosen[i].Window().Overlaps(chosen[k].Window()) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			if m := Mass(chosen); m > best {
+				best = m
+			}
+		}
+	}
+	return best
+}
+
+func TestMaxTrackAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(10)
+		jobs := make([]core.Job, n)
+		for i := range jobs {
+			s := core.Time(rng.Intn(20))
+			jobs[i] = job(i, s, s+1+core.Time(rng.Intn(8)))
+		}
+		want := bruteMaxTrack(jobs)
+		for _, tb := range []TieBreak{TieBenign, TieAdversarial} {
+			track, got := MaxTrack(jobs, tb)
+			if got != want {
+				t.Fatalf("trial %d tb=%d: MaxTrack = %d, want %d", trial, tb, got, want)
+			}
+			if Mass(track) != got {
+				t.Fatalf("trial %d: reported %d but track mass %d", trial, got, Mass(track))
+			}
+			for i := 1; i < len(track); i++ {
+				if track[i].Release < track[i-1].Deadline {
+					t.Fatalf("trial %d: track not disjoint: %v", trial, track)
+				}
+			}
+		}
+	}
+}
+
+func TestBoundaries(t *testing.T) {
+	jobs := []core.Job{job(0, 3, 7), job(1, 0, 3)}
+	got := Boundaries(jobs)
+	want := []core.Time{0, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Boundaries = %v, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Boundaries = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package intervals
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func randJobs(seed int64, maxN int) []core.Job {
+	rng := rand.New(rand.NewSource(seed))
+	n := 1 + rng.Intn(maxN)
+	jobs := make([]core.Job, n)
+	for i := range jobs {
+		s := core.Time(rng.Intn(40))
+		jobs[i] = core.Job{ID: i, Release: s, Deadline: s + 1 + core.Time(rng.Intn(12)),
+			Length: 0}
+		jobs[i].Length = jobs[i].Deadline - jobs[i].Release
+	}
+	return jobs
+}
+
+// The demand profile with g=1 is exactly the mass: every active unit of
+// demand is charged individually.
+func TestQuickDemandProfileG1IsMass(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := randJobs(seed, 10)
+		return NewDemandProfile(jobs, 1).Cost() == Mass(jobs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// With g at least the peak raw demand, the demand profile collapses to the
+// span.
+func TestQuickDemandProfileBigGIsSpan(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := randJobs(seed, 10)
+		return NewDemandProfile(jobs, len(jobs)).Cost() == Span(jobs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The demand profile is monotone under adding jobs and anti-monotone in g.
+func TestQuickDemandProfileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := randJobs(seed, 10)
+		g := 1 + int(seed%3)
+		if g < 1 {
+			g = 1
+		}
+		base := NewDemandProfile(jobs, g).Cost()
+		extra := append(append([]core.Job(nil), jobs...), core.Job{
+			ID: len(jobs), Release: 0, Deadline: 5, Length: 5,
+		})
+		if NewDemandProfile(extra, g).Cost() < base {
+			return false
+		}
+		return NewDemandProfile(jobs, g+1).Cost() <= base
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Sandwich bounds: span <= DeP <= mass, and mass/g <= DeP.
+func TestQuickDemandProfileSandwich(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := randJobs(seed, 10)
+		g := 1 + int(uint64(seed)%4)
+		dep := NewDemandProfile(jobs, g).Cost()
+		if dep < Span(jobs) || dep > Mass(jobs) {
+			return false
+		}
+		return float64(dep) >= float64(Mass(jobs))/float64(g)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A maximum track is never longer than the span (its jobs are disjoint) and
+// never shorter than the longest single job.
+func TestQuickMaxTrackBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := randJobs(seed, 10)
+		_, length := MaxTrack(jobs, TieBenign)
+		var longest core.Time
+		for _, j := range jobs {
+			if j.Length > longest {
+				longest = j.Length
+			}
+		}
+		return length >= longest && length <= Span(jobs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// ProperSubset preserves span while using a subset of the jobs with at most
+// two live anywhere; ProperJobs output contains no containment pair.
+func TestQuickProperInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := randJobs(seed, 12)
+		q := ProperSubset(jobs)
+		if Span(q) != Span(jobs) || MaxLiveOverlap(q) > 2 || len(q) > len(jobs) {
+			return false
+		}
+		p := ProperJobs(jobs)
+		for i := range p {
+			for k := range p {
+				if i == k {
+					continue
+				}
+				if p[i].Release <= p[k].Release && p[k].Deadline <= p[i].Deadline &&
+					p[i].Window() != p[k].Window() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Interesting intervals tile the hull [min release, max deadline] exactly.
+func TestQuickInterestingIntervalsTile(t *testing.T) {
+	f := func(seed int64) bool {
+		jobs := randJobs(seed, 10)
+		iis := InterestingIntervals(jobs)
+		if len(iis) == 0 {
+			return len(jobs) == 0
+		}
+		var total core.Time
+		for i, ii := range iis {
+			if i > 0 && iis[i-1].Span.End != ii.Span.Start {
+				return false
+			}
+			total += ii.Span.Len()
+		}
+		bounds := Boundaries(jobs)
+		return total == bounds[len(bounds)-1]-bounds[0]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

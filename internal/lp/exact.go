@@ -1,0 +1,339 @@
+package lp
+
+import (
+	"errors"
+	"math/big"
+)
+
+// RatSolution is the result of an exact rational solve.
+type RatSolution struct {
+	Status     Status
+	X          []*big.Rat
+	Objective  *big.Rat
+	Iterations int
+}
+
+// Float64s returns the solution vector converted to float64.
+func (s *RatSolution) Float64s() []float64 {
+	out := make([]float64, len(s.X))
+	for i, x := range s.X {
+		out[i], _ = x.Float64()
+	}
+	return out
+}
+
+// SolveExact optimizes the problem in exact rational arithmetic using
+// Bland's rule (guaranteed termination). Input float64 coefficients are
+// converted exactly via big.Rat.SetFloat64, so integral and dyadic data stay
+// exact. Intended for small problems and for validating Solve.
+func SolveExact(p *Problem) (*RatSolution, error) {
+	if p.numVars == 0 {
+		return nil, errors.New("lp: problem has no variables")
+	}
+	t, err := newRatTableau(p)
+	if err != nil {
+		return nil, err
+	}
+	status, iters := t.run()
+	sol := &RatSolution{Status: status, Iterations: iters}
+	if status == Optimal {
+		sol.X = t.primal()
+		obj := new(big.Rat)
+		for j := range p.c {
+			if p.c[j] == 0 {
+				continue
+			}
+			cj, ok := new(big.Rat).SetString(floatRat(p.c[j]))
+			if !ok {
+				return nil, errors.New("lp: bad objective coefficient")
+			}
+			obj.Add(obj, new(big.Rat).Mul(cj, sol.X[j]))
+		}
+		sol.Objective = obj
+	}
+	return sol, nil
+}
+
+func floatRat(f float64) string {
+	r := new(big.Rat).SetFloat64(f)
+	if r == nil {
+		return "0"
+	}
+	return r.RatString()
+}
+
+func rat(f float64) (*big.Rat, error) {
+	r := new(big.Rat).SetFloat64(f)
+	if r == nil {
+		return nil, errors.New("lp: non-finite coefficient")
+	}
+	return r, nil
+}
+
+type ratTableau struct {
+	m, n     int
+	nTotal   int
+	firstArt int
+	a        [][]*big.Rat
+	rhs      []*big.Rat
+	basis    []int
+	cost     []*big.Rat
+	active   []bool
+}
+
+func newRatTableau(p *Problem) (*ratTableau, error) {
+	m, n := len(p.rows), p.numVars
+	type rowKind struct {
+		rel  Relation
+		flip bool
+	}
+	kinds := make([]rowKind, m)
+	nSlack, nArt := 0, 0
+	for i := range p.rows {
+		rel, b := p.rel[i], p.b[i]
+		flip := b < 0
+		if flip {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		kinds[i] = rowKind{rel, flip}
+		switch rel {
+		case LE:
+			nSlack++
+		case GE:
+			nSlack++
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t := &ratTableau{
+		m: m, n: n,
+		nTotal:   n + nSlack + nArt,
+		firstArt: n + nSlack,
+		a:        make([][]*big.Rat, m),
+		rhs:      make([]*big.Rat, m),
+		basis:    make([]int, m),
+		cost:     make([]*big.Rat, n+nSlack+nArt),
+		active:   make([]bool, m),
+	}
+	for j := range t.cost {
+		t.cost[j] = new(big.Rat)
+	}
+	for j := 0; j < n; j++ {
+		cj, err := rat(p.c[j])
+		if err != nil {
+			return nil, err
+		}
+		t.cost[j] = cj
+	}
+	slack, art := n, t.firstArt
+	for i := range p.rows {
+		row := make([]*big.Rat, t.nTotal)
+		for j := range row {
+			row[j] = new(big.Rat)
+		}
+		sign := int64(1)
+		if kinds[i].flip {
+			sign = -1
+		}
+		signRat := new(big.Rat).SetInt64(sign)
+		for _, e := range p.rows[i] {
+			v, err := rat(e.val)
+			if err != nil {
+				return nil, err
+			}
+			row[e.col].Add(row[e.col], new(big.Rat).Mul(signRat, v))
+		}
+		bi, err := rat(p.b[i])
+		if err != nil {
+			return nil, err
+		}
+		t.rhs[i] = new(big.Rat).Mul(signRat, bi)
+		t.active[i] = true
+		switch kinds[i].rel {
+		case LE:
+			row[slack].SetInt64(1)
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack].SetInt64(-1)
+			slack++
+			row[art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art].SetInt64(1)
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+	return t, nil
+}
+
+func (t *ratTableau) reducedCosts(cost []*big.Rat, barred func(int) bool) []*big.Rat {
+	red := make([]*big.Rat, t.nTotal)
+	for j := range red {
+		red[j] = new(big.Rat).Set(cost[j])
+	}
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if !t.active[i] {
+			continue
+		}
+		cb := cost[t.basis[i]]
+		if cb.Sign() == 0 {
+			continue
+		}
+		for j := 0; j < t.nTotal; j++ {
+			if t.a[i][j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(cb, t.a[i][j])
+			red[j].Sub(red[j], tmp)
+		}
+	}
+	if barred != nil {
+		for j := range red {
+			if barred(j) {
+				red[j].SetInt64(0)
+			}
+		}
+	}
+	return red
+}
+
+func (t *ratTableau) pivot(row, col int) {
+	inv := new(big.Rat).Inv(t.a[row][col])
+	arow := t.a[row]
+	for j := range arow {
+		if arow[j].Sign() != 0 {
+			arow[j].Mul(arow[j], inv)
+		}
+	}
+	t.rhs[row].Mul(t.rhs[row], inv)
+	arow[col].SetInt64(1)
+	tmp := new(big.Rat)
+	for i := 0; i < t.m; i++ {
+		if i == row || !t.active[i] {
+			continue
+		}
+		f := new(big.Rat).Set(t.a[i][col])
+		if f.Sign() == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := range ai {
+			if arow[j].Sign() == 0 {
+				continue
+			}
+			tmp.Mul(f, arow[j])
+			ai[j].Sub(ai[j], tmp)
+		}
+		ai[col].SetInt64(0)
+		tmp.Mul(f, t.rhs[row])
+		t.rhs[i].Sub(t.rhs[i], tmp)
+	}
+	t.basis[row] = col
+}
+
+func (t *ratTableau) iterate(cost []*big.Rat, barred func(int) bool, budget *int) Status {
+	for {
+		if *budget <= 0 {
+			return IterLimit
+		}
+		*budget--
+		red := t.reducedCosts(cost, barred)
+		col := -1
+		for j := 0; j < t.nTotal; j++ { // Bland: first negative
+			if red[j].Sign() < 0 {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			return Optimal
+		}
+		row := -1
+		var bestRatio *big.Rat
+		ratio := new(big.Rat)
+		for i := 0; i < t.m; i++ {
+			if !t.active[i] || t.a[i][col].Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(t.rhs[i], t.a[i][col])
+			if row < 0 || ratio.Cmp(bestRatio) < 0 ||
+				(ratio.Cmp(bestRatio) == 0 && t.basis[i] < t.basis[row]) {
+				row = i
+				bestRatio = new(big.Rat).Set(ratio)
+			}
+		}
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+func (t *ratTableau) run() (Status, int) {
+	budget := maxPivots
+	if t.firstArt < t.nTotal {
+		phase1 := make([]*big.Rat, t.nTotal)
+		for j := range phase1 {
+			phase1[j] = new(big.Rat)
+			if j >= t.firstArt {
+				phase1[j].SetInt64(1)
+			}
+		}
+		st := t.iterate(phase1, nil, &budget)
+		if st == IterLimit {
+			return IterLimit, maxPivots - budget
+		}
+		artSum := new(big.Rat)
+		for i := 0; i < t.m; i++ {
+			if t.active[i] && t.basis[i] >= t.firstArt {
+				artSum.Add(artSum, t.rhs[i])
+			}
+		}
+		if artSum.Sign() > 0 {
+			return Infeasible, maxPivots - budget
+		}
+		for i := 0; i < t.m; i++ {
+			if !t.active[i] || t.basis[i] < t.firstArt {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.firstArt; j++ {
+				if t.a[i][j].Sign() != 0 {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				t.active[i] = false
+			}
+		}
+	}
+	barred := func(j int) bool { return j >= t.firstArt }
+	st := t.iterate(t.cost, barred, &budget)
+	return st, maxPivots - budget
+}
+
+func (t *ratTableau) primal() []*big.Rat {
+	x := make([]*big.Rat, t.n)
+	for j := range x {
+		x[j] = new(big.Rat)
+	}
+	for i := 0; i < t.m; i++ {
+		if t.active[i] && t.basis[i] < t.n {
+			x[t.basis[i]].Set(t.rhs[i])
+		}
+	}
+	return x
+}

@@ -1,0 +1,430 @@
+// Package lp implements a dense two-phase primal simplex solver for linear
+// programs in the form
+//
+//	minimize    c·x
+//	subject to  a_i·x {<=,>=,=} b_i   for each constraint i
+//	            x >= 0
+//
+// Two interchangeable engines are provided: a float64 engine (Solve) tuned
+// with a Dantzig pivot rule falling back to Bland's rule for anti-cycling,
+// and an exact rational engine over math/big.Rat (SolveExact) used by tests
+// to validate the float engine and by callers that need exact optima on
+// small programs.
+//
+// Go has no mature linear-programming library, so this package is built as
+// a first-class substrate: the active-time LP of the paper (Section 3) is
+// solved through it via Benders-style cut generation in package activetime.
+package lp
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Relation is the sense of a linear constraint.
+type Relation int
+
+// Constraint senses.
+const (
+	LE Relation = iota // a·x <= b
+	GE                 // a·x >= b
+	EQ                 // a·x == b
+)
+
+func (r Relation) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	}
+	return "?"
+}
+
+// Status reports the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+	IterLimit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case IterLimit:
+		return "iteration limit"
+	}
+	return "?"
+}
+
+// Problem is a linear program under construction. Variables are indexed
+// 0..NumVars-1 and implicitly bounded below by zero; upper bounds are
+// expressed as explicit constraints.
+type Problem struct {
+	numVars int
+	c       []float64
+	rows    [][]entry
+	rel     []Relation
+	b       []float64
+}
+
+type entry struct {
+	col int
+	val float64
+}
+
+// NewProblem returns a problem with n variables and zero objective.
+func NewProblem(n int) *Problem {
+	return &Problem{numVars: n, c: make([]float64, n)}
+}
+
+// NumVars returns the number of structural variables.
+func (p *Problem) NumVars() int { return p.numVars }
+
+// NumConstraints returns the number of constraints added so far.
+func (p *Problem) NumConstraints() int { return len(p.rows) }
+
+// SetObjective sets the cost coefficient of variable j.
+func (p *Problem) SetObjective(j int, cost float64) {
+	p.c[j] = cost
+}
+
+// AddSparse adds the constraint sum_k coeffs[k].val * x[coeffs[k].col] rel rhs.
+// Coefficient columns must be valid variable indices; duplicate columns are
+// summed.
+func (p *Problem) AddSparse(cols []int, vals []float64, rel Relation, rhs float64) error {
+	if len(cols) != len(vals) {
+		return fmt.Errorf("lp: %d columns but %d values", len(cols), len(vals))
+	}
+	row := make([]entry, 0, len(cols))
+	for k, c := range cols {
+		if c < 0 || c >= p.numVars {
+			return fmt.Errorf("lp: column %d out of range [0,%d)", c, p.numVars)
+		}
+		row = append(row, entry{c, vals[k]})
+	}
+	p.rows = append(p.rows, row)
+	p.rel = append(p.rel, rel)
+	p.b = append(p.b, rhs)
+	return nil
+}
+
+// AddDense adds the constraint coeffs·x rel rhs, where len(coeffs) ==
+// NumVars.
+func (p *Problem) AddDense(coeffs []float64, rel Relation, rhs float64) error {
+	if len(coeffs) != p.numVars {
+		return fmt.Errorf("lp: dense row has %d coefficients, want %d", len(coeffs), p.numVars)
+	}
+	var cols []int
+	var vals []float64
+	for j, v := range coeffs {
+		if v != 0 {
+			cols = append(cols, j)
+			vals = append(vals, v)
+		}
+	}
+	return p.AddSparse(cols, vals, rel, rhs)
+}
+
+// Solution is the result of a float64 solve.
+type Solution struct {
+	Status    Status
+	X         []float64
+	Objective float64
+	// Iterations counts simplex pivots across both phases.
+	Iterations int
+}
+
+const (
+	eps       = 1e-9
+	maxPivots = 200000
+)
+
+// Solve optimizes the problem with the float64 simplex engine. A non-nil
+// error indicates malformed input only; infeasibility and unboundedness are
+// reported through Solution.Status.
+func Solve(p *Problem) (*Solution, error) {
+	if p.numVars == 0 {
+		return nil, errors.New("lp: problem has no variables")
+	}
+	t := newTableau(p)
+	status, iters := t.run()
+	sol := &Solution{Status: status, Iterations: iters}
+	if status == Optimal {
+		sol.X = t.primal()
+		obj := 0.0
+		for j, cj := range p.c {
+			obj += cj * sol.X[j]
+		}
+		sol.Objective = obj
+	}
+	return sol, nil
+}
+
+// tableau is the dense simplex working state for the float engine.
+type tableau struct {
+	m, n     int // constraints, structural vars
+	nTotal   int // structural + slack + artificial
+	firstArt int // index of first artificial column (nTotal if none)
+	a        [][]float64
+	rhs      []float64
+	basis    []int
+	cost     []float64 // phase-2 costs per column
+	active   []bool    // rows still in play (redundant rows get disabled)
+}
+
+func newTableau(p *Problem) *tableau {
+	m, n := len(p.rows), p.numVars
+	// Count slacks and artificials after normalizing b >= 0.
+	type rowKind struct {
+		rel  Relation
+		flip bool
+	}
+	kinds := make([]rowKind, m)
+	nSlack := 0
+	nArt := 0
+	for i := range p.rows {
+		rel, b := p.rel[i], p.b[i]
+		flip := b < 0
+		if flip {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		kinds[i] = rowKind{rel, flip}
+		switch rel {
+		case LE:
+			nSlack++ // slack enters the basis directly
+		case GE:
+			nSlack++ // surplus
+			nArt++
+		case EQ:
+			nArt++
+		}
+	}
+	t := &tableau{
+		m: m, n: n,
+		nTotal:   n + nSlack + nArt,
+		firstArt: n + nSlack,
+		a:        make([][]float64, m),
+		rhs:      make([]float64, m),
+		basis:    make([]int, m),
+		cost:     make([]float64, n+nSlack+nArt),
+		active:   make([]bool, m),
+	}
+	copy(t.cost, p.c)
+	slack := n
+	art := t.firstArt
+	for i := range p.rows {
+		row := make([]float64, t.nTotal)
+		sign := 1.0
+		if kinds[i].flip {
+			sign = -1.0
+		}
+		for _, e := range p.rows[i] {
+			row[e.col] += sign * e.val
+		}
+		t.rhs[i] = sign * p.b[i]
+		t.active[i] = true
+		switch kinds[i].rel {
+		case LE:
+			row[slack] = 1
+			t.basis[i] = slack
+			slack++
+		case GE:
+			row[slack] = -1
+			slack++
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		case EQ:
+			row[art] = 1
+			t.basis[i] = art
+			art++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+// reducedCosts computes the reduced-cost row for the given column costs.
+func (t *tableau) reducedCosts(cost []float64, barred func(int) bool) []float64 {
+	red := make([]float64, t.nTotal)
+	copy(red, cost)
+	for i := 0; i < t.m; i++ {
+		if !t.active[i] {
+			continue
+		}
+		cb := cost[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		for j := 0; j < t.nTotal; j++ {
+			red[j] -= cb * t.a[i][j]
+		}
+	}
+	if barred != nil {
+		for j := 0; j < t.nTotal; j++ {
+			if barred(j) {
+				red[j] = 0 // never re-enter
+			}
+		}
+	}
+	return red
+}
+
+// pivot performs a standard pivot on (row, col).
+func (t *tableau) pivot(row, col int) {
+	piv := t.a[row][col]
+	inv := 1 / piv
+	arow := t.a[row]
+	for j := range arow {
+		arow[j] *= inv
+	}
+	t.rhs[row] *= inv
+	arow[col] = 1 // fight rounding
+	for i := 0; i < t.m; i++ {
+		if i == row || !t.active[i] {
+			continue
+		}
+		f := t.a[i][col]
+		if f == 0 {
+			continue
+		}
+		ai := t.a[i]
+		for j := range ai {
+			ai[j] -= f * arow[j]
+		}
+		ai[col] = 0
+		t.rhs[i] -= f * t.rhs[row]
+	}
+	t.basis[row] = col
+}
+
+// iterate runs simplex iterations with the given cost vector until optimal,
+// unbounded, or the pivot budget is exhausted. barred marks columns that may
+// not enter (artificials in phase 2).
+func (t *tableau) iterate(cost []float64, barred func(int) bool, budget *int) Status {
+	blandFrom := *budget / 2 // switch to Bland's rule for the second half
+	for iter := 0; ; iter++ {
+		if *budget <= 0 {
+			return IterLimit
+		}
+		*budget--
+		red := t.reducedCosts(cost, barred)
+		col := -1
+		if iter < blandFrom {
+			best := -eps
+			for j := 0; j < t.nTotal; j++ {
+				if red[j] < best {
+					best = red[j]
+					col = j
+				}
+			}
+		} else {
+			for j := 0; j < t.nTotal; j++ {
+				if red[j] < -eps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			return Optimal
+		}
+		row := -1
+		var bestRatio float64
+		for i := 0; i < t.m; i++ {
+			if !t.active[i] || t.a[i][col] <= eps {
+				continue
+			}
+			ratio := t.rhs[i] / t.a[i][col]
+			if row < 0 || ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && t.basis[i] < t.basis[row]) {
+				row = i
+				bestRatio = ratio
+			}
+		}
+		if row < 0 {
+			return Unbounded
+		}
+		t.pivot(row, col)
+	}
+}
+
+// run executes the two phases and returns the final status and pivot count.
+func (t *tableau) run() (Status, int) {
+	budget := maxPivots
+	// Phase 1: minimize the sum of artificials.
+	if t.firstArt < t.nTotal {
+		phase1 := make([]float64, t.nTotal)
+		for j := t.firstArt; j < t.nTotal; j++ {
+			phase1[j] = 1
+		}
+		st := t.iterate(phase1, nil, &budget)
+		if st == IterLimit {
+			return IterLimit, maxPivots - budget
+		}
+		// Infeasible if any artificial remains basic at positive value.
+		var artSum float64
+		for i := 0; i < t.m; i++ {
+			if t.active[i] && t.basis[i] >= t.firstArt {
+				artSum += t.rhs[i]
+			}
+		}
+		if artSum > 1e-7 {
+			return Infeasible, maxPivots - budget
+		}
+		// Drive remaining zero-valued artificials out of the basis.
+		for i := 0; i < t.m; i++ {
+			if !t.active[i] || t.basis[i] < t.firstArt {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.firstArt; j++ {
+				if t.a[i][j] > eps || t.a[i][j] < -eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				t.active[i] = false // redundant row
+			}
+		}
+	}
+	// Phase 2.
+	barred := func(j int) bool { return j >= t.firstArt }
+	st := t.iterate(t.cost, barred, &budget)
+	return st, maxPivots - budget
+}
+
+// primal extracts the structural variable values from the basis.
+func (t *tableau) primal() []float64 {
+	x := make([]float64, t.n)
+	for i := 0; i < t.m; i++ {
+		if t.active[i] && t.basis[i] < t.n {
+			x[t.basis[i]] = t.rhs[i]
+		}
+	}
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+	}
+	return x
+}

@@ -1,0 +1,270 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustSolve(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestSolveBasic(t *testing.T) {
+	// min -x - 2y s.t. x + y <= 4, x <= 2, y <= 3, x,y >= 0. Opt at (1,3): -7.
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -2)
+	check(t, p.AddDense([]float64{1, 1}, LE, 4))
+	check(t, p.AddDense([]float64{1, 0}, LE, 2))
+	check(t, p.AddDense([]float64{0, 1}, LE, 3))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-7)) > 1e-6 {
+		t.Errorf("objective = %v, want -7", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-1) > 1e-6 || math.Abs(sol.X[1]-3) > 1e-6 {
+		t.Errorf("x = %v, want (1,3)", sol.X)
+	}
+}
+
+func TestSolveGEAndEQ(t *testing.T) {
+	// min 2x + 3y s.t. x + y >= 10, x - y == 2. Opt at (6,4): 24.
+	p := NewProblem(2)
+	p.SetObjective(0, 2)
+	p.SetObjective(1, 3)
+	check(t, p.AddDense([]float64{1, 1}, GE, 10))
+	check(t, p.AddDense([]float64{1, -1}, EQ, 2))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-24) > 1e-6 {
+		t.Errorf("objective = %v, want 24", sol.Objective)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	check(t, p.AddDense([]float64{1}, GE, 5))
+	check(t, p.AddDense([]float64{1}, LE, 3))
+	sol := mustSolve(t, p)
+	if sol.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	check(t, p.AddDense([]float64{0, 1}, LE, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// min x s.t. -x <= -3  (i.e. x >= 3).
+	p := NewProblem(1)
+	p.SetObjective(0, 1)
+	check(t, p.AddDense([]float64{-1}, LE, -3))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective-3) > 1e-6 {
+		t.Fatalf("got %v obj=%v, want optimal 3", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A classic degenerate LP; must terminate and find the optimum.
+	p := NewProblem(4)
+	for j, c := range []float64{-0.75, 150, -0.02, 6} {
+		p.SetObjective(j, c)
+	}
+	check(t, p.AddDense([]float64{0.25, -60, -0.04, 9}, LE, 0))
+	check(t, p.AddDense([]float64{0.5, -90, -0.02, 3}, LE, 0))
+	check(t, p.AddDense([]float64{0, 0, 1, 0}, LE, 1))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if math.Abs(sol.Objective-(-0.05)) > 1e-6 {
+		t.Errorf("objective = %v, want -0.05 (Beale's example)", sol.Objective)
+	}
+}
+
+func TestExactMatchesFloatBasic(t *testing.T) {
+	p := NewProblem(2)
+	p.SetObjective(0, -1)
+	p.SetObjective(1, -2)
+	check(t, p.AddDense([]float64{1, 1}, LE, 4))
+	check(t, p.AddDense([]float64{1, 0}, LE, 2))
+	check(t, p.AddDense([]float64{0, 1}, LE, 3))
+	fs := mustSolve(t, p)
+	es, err := SolveExact(p)
+	if err != nil {
+		t.Fatalf("SolveExact: %v", err)
+	}
+	if es.Status != Optimal {
+		t.Fatalf("exact status = %v", es.Status)
+	}
+	obj, _ := es.Objective.Float64()
+	if math.Abs(obj-fs.Objective) > 1e-7 {
+		t.Errorf("exact obj %v != float obj %v", obj, fs.Objective)
+	}
+}
+
+// TestExactMatchesFloatRandom cross-validates the two engines on random
+// feasible covering LPs (the shape the active-time Benders master takes).
+func TestExactMatchesFloatRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(4)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, float64(1+rng.Intn(5)))
+			check(t, p.AddDense(unitRow(n, j), LE, 1)) // x_j <= 1
+		}
+		rows := 1 + rng.Intn(4)
+		for r := 0; r < rows; r++ {
+			coeffs := make([]float64, n)
+			tot := 0.0
+			for j := range coeffs {
+				coeffs[j] = float64(rng.Intn(4))
+				tot += coeffs[j]
+			}
+			if tot == 0 {
+				coeffs[0] = 1
+				tot = 1
+			}
+			rhs := 1 + rng.Float64()*(tot-1)*0.9
+			if rhs > tot {
+				rhs = tot
+			}
+			check(t, p.AddDense(coeffs, GE, math.Floor(rhs*4)/4))
+		}
+		fs := mustSolve(t, p)
+		es, err := SolveExact(p)
+		if err != nil {
+			t.Fatalf("SolveExact: %v", err)
+		}
+		if fs.Status != es.Status {
+			t.Fatalf("trial %d: status float=%v exact=%v", trial, fs.Status, es.Status)
+		}
+		if fs.Status != Optimal {
+			continue
+		}
+		obj, _ := es.Objective.Float64()
+		if math.Abs(obj-fs.Objective) > 1e-6 {
+			t.Errorf("trial %d: exact obj %v != float obj %v", trial, obj, fs.Objective)
+		}
+	}
+}
+
+func unitRow(n, j int) []float64 {
+	row := make([]float64, n)
+	row[j] = 1
+	return row
+}
+
+func check(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddSparseValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.AddSparse([]int{5}, []float64{1}, LE, 1); err == nil {
+		t.Error("out-of-range column accepted")
+	}
+	if err := p.AddSparse([]int{0}, []float64{1, 2}, LE, 1); err == nil {
+		t.Error("mismatched lengths accepted")
+	}
+	if err := p.AddSparse([]int{0, 0}, []float64{1, 2}, LE, 5); err != nil {
+		t.Errorf("duplicate columns rejected: %v", err)
+	}
+	// Duplicates must sum: min x0 s.t. 3*x0 >= 6 -> 2.
+	p2 := NewProblem(1)
+	p2.SetObjective(0, 1)
+	check(t, p2.AddSparse([]int{0, 0}, []float64{1, 2}, GE, 6))
+	sol := mustSolve(t, p2)
+	if math.Abs(sol.Objective-2) > 1e-9 {
+		t.Errorf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestSolveTrivialAtOrigin(t *testing.T) {
+	// All-positive costs and only <= constraints: optimum is x = 0.
+	p := NewProblem(3)
+	for j := 0; j < 3; j++ {
+		p.SetObjective(j, float64(j+1))
+	}
+	check(t, p.AddDense([]float64{1, 1, 1}, LE, 10))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || sol.Objective != 0 {
+		t.Errorf("got %v obj=%v, want optimal 0", sol.Status, sol.Objective)
+	}
+}
+
+func TestSolveEqualityOnlySystem(t *testing.T) {
+	// x + y == 4, x - y == 2 has the unique solution (3,1).
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	check(t, p.AddDense([]float64{1, 1}, EQ, 4))
+	check(t, p.AddDense([]float64{1, -1}, EQ, 2))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	if math.Abs(sol.X[0]-3) > 1e-7 || math.Abs(sol.X[1]-1) > 1e-7 {
+		t.Errorf("x = %v, want (3,1)", sol.X)
+	}
+}
+
+func TestSolveRedundantRows(t *testing.T) {
+	// The same equality twice: phase 1 must discard the redundant row
+	// rather than declare infeasibility.
+	p := NewProblem(2)
+	p.SetObjective(0, 1)
+	check(t, p.AddDense([]float64{1, 1}, EQ, 3))
+	check(t, p.AddDense([]float64{1, 1}, EQ, 3))
+	check(t, p.AddDense([]float64{2, 2}, EQ, 6))
+	sol := mustSolve(t, p)
+	if sol.Status != Optimal || math.Abs(sol.Objective) > 1e-9 {
+		t.Errorf("got %v obj=%v, want optimal 0 (x=(0,3))", sol.Status, sol.Objective)
+	}
+}
+
+func TestExactRejectsNonFinite(t *testing.T) {
+	p := NewProblem(1)
+	p.SetObjective(0, math.Inf(1))
+	check(t, p.AddDense([]float64{1}, GE, 1))
+	if _, err := SolveExact(p); err == nil {
+		t.Error("infinite coefficient accepted by exact engine")
+	}
+}
+
+func TestRelationAndStatusStrings(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "==" {
+		t.Error("Relation strings wrong")
+	}
+	for s, want := range map[Status]string{
+		Optimal: "optimal", Infeasible: "infeasible",
+		Unbounded: "unbounded", IterLimit: "iteration limit",
+	} {
+		if s.String() != want {
+			t.Errorf("Status %d = %q, want %q", s, s.String(), want)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+// Package render draws instances and schedules as ASCII Gantt charts, so
+// the paper's figures can be reproduced visually from the command line
+// (busysim/activesim -gantt) and in the examples.
+package render
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Options controls chart geometry.
+type Options struct {
+	// Width is the number of character cells for the time axis (default 64).
+	Width int
+	// From/To clip the drawn time range; zero values mean the instance hull.
+	From, To core.Time
+}
+
+func (o Options) resolve(in *core.Instance) (from, to core.Time, width int) {
+	from, to = o.From, o.To
+	if from == 0 && to == 0 {
+		from, to = in.MinRelease(), in.Horizon()
+	}
+	if to <= from {
+		to = from + 1
+	}
+	width = o.Width
+	if width <= 0 {
+		width = 64
+	}
+	if span := int(to - from); span < width {
+		width = span
+	}
+	return from, to, width
+}
+
+// cell maps a time to a column.
+func cell(t, from, to core.Time, width int) int {
+	if t <= from {
+		return 0
+	}
+	if t >= to {
+		return width
+	}
+	return int(int64(width) * int64(t-from) / int64(to-from))
+}
+
+func drawRow(ivs []core.Interval, from, to core.Time, width int, mark byte) string {
+	row := make([]byte, width)
+	for i := range row {
+		row[i] = '.'
+	}
+	for _, iv := range ivs {
+		lo, hi := cell(iv.Start, from, to, width), cell(iv.End, from, to, width)
+		if hi == lo {
+			hi = lo + 1 // never let a nonempty interval vanish
+		}
+		for c := lo; c < hi && c < width; c++ {
+			row[c] = mark
+		}
+	}
+	return string(row)
+}
+
+// Instance draws each job's window (dots) with its mandatory core if rigid.
+func Instance(w io.Writer, in *core.Instance, opts Options) {
+	from, to, width := opts.resolve(in)
+	fmt.Fprintf(w, "instance %s  g=%d  time [%d,%d)\n", in.Name, in.G, from, to)
+	jobs := append([]core.Job(nil), in.Jobs...)
+	sort.Slice(jobs, func(a, b int) bool {
+		if jobs[a].Release != jobs[b].Release {
+			return jobs[a].Release < jobs[b].Release
+		}
+		return jobs[a].ID < jobs[b].ID
+	})
+	for _, j := range jobs {
+		window := drawRow([]core.Interval{j.Window()}, from, to, width, '-')
+		if j.IsInterval() {
+			window = drawRow([]core.Interval{j.Window()}, from, to, width, '#')
+		}
+		fmt.Fprintf(w, "  J%-4d |%s| p=%d\n", j.ID, window, j.Length)
+	}
+}
+
+// BusySchedule draws one row per machine: '#' where the machine is busy,
+// and a second line per machine listing its jobs.
+func BusySchedule(w io.Writer, in *core.Instance, s *core.BusySchedule, opts Options) error {
+	from, to, width := opts.resolve(in)
+	cost, err := s.Cost(in)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "busy schedule: %d machines, busy time %d, time [%d,%d)\n",
+		len(s.Bundles), cost, from, to)
+	for bi := range s.Bundles {
+		b := &s.Bundles[bi]
+		ivs, err := b.Intervals(in)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "  M%-4d |%s|", bi, drawRow(ivs, from, to, width, '#'))
+		var ids []string
+		for _, pl := range b.Placements {
+			ids = append(ids, fmt.Sprintf("J%d@%d", pl.JobID, pl.Start))
+		}
+		fmt.Fprintf(w, " %s\n", strings.Join(ids, " "))
+	}
+	return nil
+}
+
+// ActiveSchedule draws the machine's on/off slot profile and per-slot load.
+func ActiveSchedule(w io.Writer, in *core.Instance, s *core.ActiveSchedule, opts Options) {
+	T := in.Horizon()
+	fmt.Fprintf(w, "active schedule: %d open slots of %d\n", len(s.Open), T)
+	open := s.OpenSet()
+	load := s.Load()
+	var profile, digits strings.Builder
+	for t := core.Time(1); t <= T; t++ {
+		if open[t] {
+			profile.WriteByte('#')
+			l := load[t]
+			if l > 9 {
+				digits.WriteByte('+')
+			} else {
+				digits.WriteByte(byte('0' + l))
+			}
+		} else {
+			profile.WriteByte('.')
+			digits.WriteByte('.')
+		}
+	}
+	fmt.Fprintf(w, "  on/off |%s|\n", profile.String())
+	fmt.Fprintf(w, "  load   |%s| (capacity %d)\n", digits.String(), in.G)
+}
+
+// PreemptiveSchedule draws one row per machine with '#' where busy.
+func PreemptiveSchedule(w io.Writer, in *core.Instance, s *core.PreemptiveSchedule, opts Options) {
+	from, to, width := opts.resolve(in)
+	fmt.Fprintf(w, "preemptive schedule: %d machines, busy time %d, time [%d,%d)\n",
+		len(s.Machines), s.Cost(), from, to)
+	for mi := range s.Machines {
+		m := &s.Machines[mi]
+		ivs := make([]core.Interval, 0, len(m.Pieces))
+		for _, p := range m.Pieces {
+			ivs = append(ivs, p.Span)
+		}
+		fmt.Fprintf(w, "  M%-4d |%s| %d pieces\n", mi,
+			drawRow(ivs, from, to, width, '#'), len(m.Pieces))
+	}
+}

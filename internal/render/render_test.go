@@ -1,0 +1,99 @@
+package render
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func fixtures() (*core.Instance, *core.BusySchedule, *core.ActiveSchedule, *core.PreemptiveSchedule) {
+	in := &core.Instance{Name: "fix", G: 2, Jobs: []core.Job{
+		{ID: 0, Release: 0, Deadline: 4, Length: 4},
+		{ID: 1, Release: 2, Deadline: 8, Length: 3},
+	}}
+	busy := &core.BusySchedule{Bundles: []core.Bundle{
+		{Placements: []core.Placement{{JobID: 0, Start: 0}, {JobID: 1, Start: 4}}},
+	}}
+	active := &core.ActiveSchedule{
+		Open:   []core.Time{1, 2, 3, 4, 5, 6, 7},
+		Assign: map[int][]core.Time{0: {1, 2, 3, 4}, 1: {3, 4, 5}},
+	}
+	pre := &core.PreemptiveSchedule{Machines: []core.PreemptiveMachine{
+		{Pieces: []core.Piece{{JobID: 0, Span: core.Interval{Start: 0, End: 4}}}},
+		{Pieces: []core.Piece{{JobID: 1, Span: core.Interval{Start: 4, End: 7}}}},
+	}}
+	return in, busy, active, pre
+}
+
+func TestInstanceRendering(t *testing.T) {
+	in, _, _, _ := fixtures()
+	var buf bytes.Buffer
+	Instance(&buf, in, Options{Width: 8})
+	out := buf.String()
+	if !strings.Contains(out, "J0") || !strings.Contains(out, "J1") {
+		t.Errorf("missing job rows:\n%s", out)
+	}
+	if !strings.Contains(out, "####") {
+		t.Errorf("rigid job not drawn solid:\n%s", out)
+	}
+	if !strings.Contains(out, "---") {
+		t.Errorf("flexible window not drawn dashed:\n%s", out)
+	}
+}
+
+func TestBusyScheduleRendering(t *testing.T) {
+	in, busy, _, _ := fixtures()
+	var buf bytes.Buffer
+	if err := BusySchedule(&buf, in, busy, Options{Width: 8}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "busy time 7") {
+		t.Errorf("cost missing:\n%s", out)
+	}
+	if !strings.Contains(out, "|#######") && !strings.Contains(out, "#######") {
+		t.Errorf("busy row not filled:\n%s", out)
+	}
+	if !strings.Contains(out, "J1@4") {
+		t.Errorf("placement labels missing:\n%s", out)
+	}
+}
+
+func TestActiveScheduleRendering(t *testing.T) {
+	in, _, active, _ := fixtures()
+	var buf bytes.Buffer
+	ActiveSchedule(&buf, in, active, Options{})
+	out := buf.String()
+	if !strings.Contains(out, "7 open slots of 8") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "#######.") {
+		t.Errorf("profile wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "1122100.") {
+		t.Errorf("load digits wrong:\n%s", out)
+	}
+}
+
+func TestPreemptiveRendering(t *testing.T) {
+	in, _, _, pre := fixtures()
+	var buf bytes.Buffer
+	PreemptiveSchedule(&buf, in, pre, Options{Width: 8})
+	out := buf.String()
+	if !strings.Contains(out, "2 machines") || !strings.Contains(out, "busy time 7") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestCellClipping(t *testing.T) {
+	if cell(5, 0, 10, 10) != 5 || cell(-1, 0, 10, 10) != 0 || cell(20, 0, 10, 10) != 10 {
+		t.Error("cell mapping broken")
+	}
+	// Narrow intervals never disappear.
+	row := drawRow([]core.Interval{{Start: 3, End: 4}}, 0, 1000, 10, '#')
+	if !strings.Contains(row, "#") {
+		t.Errorf("narrow interval vanished: %q", row)
+	}
+}
