@@ -1,16 +1,22 @@
 // Command paperbench regenerates every experiment table of the
-// reproduction (E1-E14, one per figure/claim of the paper; see DESIGN.md).
+// reproduction (E1-E16, one per figure/claim of the paper; see DESIGN.md).
 //
 // Usage:
 //
-//	paperbench [-quick] [-only E5] [-seed 7]
+//	paperbench [-quick] [-only E5] [-seed 7] [-bench-json out.json]
+//
+// With -bench-json, per-experiment wall times are also written to the given
+// path as a JSON array (one object per experiment: id, name, millis, rows),
+// feeding the machine-readable benchmark trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 )
@@ -22,27 +28,55 @@ func main() {
 	}
 }
 
+// benchRecord is one experiment's machine-readable timing.
+type benchRecord struct {
+	ID     string  `json:"id"`
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+	Rows   int     `json:"rows"`
+}
+
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "run reduced sweeps")
 	only := fs.String("only", "", "run a single experiment by ID (e.g. E5)")
 	seed := fs.Int64("seed", 7, "random seed for workload generation")
+	benchJSON := fs.String("bench-json", "", "write per-experiment wall times as JSON to this path")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	runners := experiments.All()
 	if *only != "" {
 		r, ok := experiments.ByID(*only)
 		if !ok {
 			return fmt.Errorf("unknown experiment %q", *only)
 		}
-		tab, err := r.Run(cfg)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
-		}
-		tab.Render(stdout)
-		return nil
+		runners = []experiments.Runner{r}
 	}
-	return experiments.RunAll(cfg, stdout)
+	var records []benchRecord
+	err := experiments.RunEach(cfg, stdout, runners,
+		func(r experiments.Runner, tab *experiments.Table, elapsed time.Duration) {
+			records = append(records, benchRecord{
+				ID:     r.ID,
+				Name:   r.Name,
+				Millis: float64(elapsed.Microseconds()) / 1000,
+				Rows:   len(tab.Rows),
+			})
+		})
+	if err != nil {
+		return err
+	}
+	if *benchJSON != "" {
+		data, err := json.MarshalIndent(records, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+			return fmt.Errorf("writing bench json: %w", err)
+		}
+	}
+	return nil
 }

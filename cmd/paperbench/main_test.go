@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -14,6 +16,33 @@ func TestRunSingleExperiment(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "E3") || !strings.Contains(out, "paper gap") {
 		t.Errorf("unexpected output:\n%s", out)
+	}
+}
+
+func TestBenchJSON(t *testing.T) {
+	path := t.TempDir() + "/bench.json"
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E3", "-bench-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var records []struct {
+		ID     string  `json:"id"`
+		Name   string  `json:"name"`
+		Millis float64 `json:"millis"`
+		Rows   int     `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &records); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if len(records) != 1 || records[0].ID != "E3" {
+		t.Fatalf("records = %+v, want one E3 entry", records)
+	}
+	if records[0].Millis <= 0 || records[0].Rows == 0 || records[0].Name == "" {
+		t.Errorf("record fields not populated: %+v", records[0])
 	}
 }
 

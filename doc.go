@@ -12,4 +12,15 @@
 // gadget family behind the paper's figures, and an experiment harness that
 // regenerates each figure-level claim. See DESIGN.md for the inventory and
 // EXPERIMENTS.md for the paper-vs-measured record.
+//
+// The Section-3 solve pipeline is fully incremental: the simplex engine
+// (internal/lp) supports native variable upper bounds and warm-started
+// re-solves from the previous optimal basis (Problem.ResolveFrom, dual
+// simplex over newly appended cuts), and the max-flow substrate
+// (internal/flow) supports Reset/SetCapacity so separation and feasibility
+// networks are built once and only re-capacitated between queries. The
+// Benders cut generation in internal/activetime rides both: one tableau and
+// one flow network per SolveLP call, re-used across every cut round. See
+// the package comments of internal/lp and internal/flow for the exact
+// warm-start and reuse contracts.
 package repro

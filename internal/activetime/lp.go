@@ -17,8 +17,33 @@ type LPResult struct {
 	// Objective is sum_t Y[t], a lower bound on the optimal active time.
 	Objective float64
 	// Cuts is the number of Benders cuts generated; Rounds the number of
-	// master solves.
-	Cuts, Rounds int
+	// master solves; Pivots the total simplex pivots across all master
+	// solves (cold plus warm), the solver-effort figure experiments report.
+	Cuts, Rounds, Pivots int
+}
+
+// newMaster builds the Benders master over the y variables: unit objective,
+// native 0 <= y_t <= 1 bounds (no constraint rows), and one seed covering
+// cut per job (A = {j} gives Σ_{t∈win} y_t >= p_j).
+func newMaster(in *core.Instance) (*lp.Problem, error) {
+	T := int(in.Horizon())
+	prob := lp.NewProblem(T) // variable t-1 is y_t
+	for t := 1; t <= T; t++ {
+		prob.SetObjective(t-1, 1)
+		prob.SetUpper(t-1, 1)
+	}
+	for _, j := range in.Jobs {
+		var cols []int
+		var vals []float64
+		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+			cols = append(cols, int(t)-1)
+			vals = append(vals, 1)
+		}
+		if err := prob.AddSparse(cols, vals, lp.GE, float64(j.Length)); err != nil {
+			return nil, err
+		}
+	}
+	return prob, nil
 }
 
 // SolveLP computes an optimal solution of LP1:
@@ -39,6 +64,12 @@ type LPResult struct {
 // solves the growing master LP with the simplex engine. Each round either
 // proves optimality or adds a previously absent violated cut, so the
 // procedure terminates.
+//
+// The whole pipeline is incremental: y upper bounds live inside the simplex
+// (no constraint rows), each master re-solve warm-starts from the previous
+// optimal basis via lp.Problem.ResolveFrom (dual simplex on the one new
+// cut), and the separation network is built once and only re-capacitated on
+// its y-dependent edges each round.
 func SolveLP(in *core.Instance) (*LPResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -47,38 +78,27 @@ func SolveLP(in *core.Instance) (*LPResult, error) {
 		return nil, ErrInfeasible
 	}
 	T := int(in.Horizon())
-	prob := lp.NewProblem(T) // variable t-1 is y_t
-	for t := 1; t <= T; t++ {
-		prob.SetObjective(t-1, 1)
-		if err := prob.AddSparse([]int{t - 1}, []float64{1}, lp.LE, 1); err != nil {
-			return nil, err
-		}
+	prob, err := newMaster(in)
+	if err != nil {
+		return nil, err
 	}
-	// Seed cuts: one per job (A = {j} gives Σ_{t∈win} y_t >= p_j).
-	for _, j := range in.Jobs {
-		var cols []int
-		var vals []float64
-		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
-			cols = append(cols, int(t)-1)
-			vals = append(vals, 1)
-		}
-		if err := prob.AddSparse(cols, vals, lp.GE, float64(j.Length)); err != nil {
-			return nil, err
-		}
-	}
+	sep := newSeparator(in)
 	res := &LPResult{Cuts: len(in.Jobs)}
+	var basis *lp.Basis
 	maxRounds := 20*T + 200
 	for round := 0; round < maxRounds; round++ {
 		res.Rounds++
-		sol, err := lp.Solve(prob)
+		sol, nextBasis, err := prob.ResolveFrom(basis)
 		if err != nil {
 			return nil, err
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("activetime: LP master %v", sol.Status)
 		}
+		basis = nextBasis
+		res.Pivots += sol.Iterations
 		y := sol.X
-		A, violated := separate(in, y)
+		A, violated := sep.separate(y)
 		if !violated {
 			res.Y = make([]float64, T+1)
 			for t := 1; t <= T; t++ {
@@ -103,38 +123,78 @@ func SolveLP(in *core.Instance) (*LPResult, error) {
 	return nil, fmt.Errorf("activetime: LP cut generation did not converge in %d rounds", maxRounds)
 }
 
+// separator is the reusable Benders separation oracle: the fractional
+// feasibility network of the paper is built once per SolveLP call, and each
+// round only the y-dependent capacities (slot→sink g·y_t, job→slot y_t) are
+// rewritten before re-running max-flow on the Reset network.
+type separator struct {
+	in        *core.Instance
+	net       *flow.Network[float64]
+	src, sink int
+	slotEdges []flow.EdgeID[float64]   // index t-1: slot t → sink
+	jobEdges  [][]flow.EdgeID[float64] // per job, per window slot offset
+	total     float64
+}
+
+func newSeparator(in *core.Instance) *separator {
+	const eps = 1e-12
+	T := int(in.Horizon())
+	nJobs := len(in.Jobs)
+	s := &separator{
+		in:        in,
+		net:       flow.NewNetwork[float64](2+nJobs+T, eps),
+		src:       0,
+		sink:      1 + nJobs + T,
+		slotEdges: make([]flow.EdgeID[float64], T),
+		jobEdges:  make([][]flow.EdgeID[float64], nJobs),
+	}
+	slotNode := func(t core.Time) int { return 1 + nJobs + int(t) - 1 }
+	for t := 1; t <= T; t++ {
+		s.slotEdges[t-1] = s.net.AddEdge(slotNode(core.Time(t)), s.sink, 0)
+	}
+	for i, j := range in.Jobs {
+		s.net.AddEdge(s.src, 1+i, float64(j.Length))
+		s.total += float64(j.Length)
+		ids := make([]flow.EdgeID[float64], 0, int(j.LastSlot()-j.FirstSlot())+1)
+		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+			ids = append(ids, s.net.AddEdge(1+i, slotNode(t), 0))
+		}
+		s.jobEdges[i] = ids
+	}
+	return s
+}
+
 // separate solves the fractional feasibility subproblem for y and, if the
 // max flow falls short of P, returns the source-side job set A of a minimum
 // cut.
-func separate(in *core.Instance, y []float64) (A []bool, violated bool) {
-	const eps = 1e-12
-	T := len(y)
-	nJobs := len(in.Jobs)
-	n := flow.NewNetwork[float64](2+nJobs+T, eps)
-	src := 0
-	sink := 1 + nJobs + T
-	slotNode := func(t core.Time) int { return 1 + nJobs + int(t) - 1 }
-	var total float64
-	for t := 1; t <= T; t++ {
-		n.AddEdge(slotNode(core.Time(t)), sink, float64(in.G)*y[t-1])
+func (s *separator) separate(y []float64) (A []bool, violated bool) {
+	s.net.Reset()
+	g := float64(s.in.G)
+	for t := range y {
+		s.net.SetCapacity(s.slotEdges[t], g*y[t])
 	}
-	for i, j := range in.Jobs {
-		n.AddEdge(src, 1+i, float64(j.Length))
-		total += float64(j.Length)
-		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
-			n.AddEdge(1+i, slotNode(t), y[t-1])
+	for i, j := range s.in.Jobs {
+		ids := s.jobEdges[i]
+		for k, t := 0, j.FirstSlot(); t <= j.LastSlot(); k, t = k+1, t+1 {
+			s.net.SetCapacity(ids[k], y[t-1])
 		}
 	}
-	got := n.Max(src, sink)
-	if got >= total-1e-6 {
+	got := s.net.Max(s.src, s.sink)
+	if got >= s.total-1e-6 {
 		return nil, false
 	}
-	side := n.MinCutSource(src)
-	A = make([]bool, nJobs)
-	for i := range in.Jobs {
+	side := s.net.MinCutSource(s.src)
+	A = make([]bool, len(s.in.Jobs))
+	for i := range s.in.Jobs {
 		A[i] = side[1+i]
 	}
 	return A, true
+}
+
+// separate is the one-shot form kept for callers without a reusable
+// separator.
+func separate(in *core.Instance, y []float64) (A []bool, violated bool) {
+	return newSeparator(in).separate(y)
 }
 
 // cutFor builds the canonical cut for job subset A:

@@ -13,8 +13,10 @@ type ExactLPResult struct {
 	// Objective is the exact optimal value of LP1.
 	Objective *big.Rat
 	// Y[t] is the exact fractional openness of slot t (index 0 unused).
-	Y            []*big.Rat
-	Cuts, Rounds int
+	Y []*big.Rat
+	// Cuts, Rounds and Pivots mirror LPResult: cut count, master solves,
+	// and total rational simplex pivots.
+	Cuts, Rounds, Pivots int
 }
 
 // SolveLPExact computes the optimal value of LP1 in exact rational
@@ -33,24 +35,11 @@ func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
 		return nil, ErrInfeasible
 	}
 	T := int(in.Horizon())
-	prob := lp.NewProblem(T)
-	for t := 1; t <= T; t++ {
-		prob.SetObjective(t-1, 1)
-		if err := prob.AddSparse([]int{t - 1}, []float64{1}, lp.LE, 1); err != nil {
-			return nil, err
-		}
+	prob, err := newMaster(in)
+	if err != nil {
+		return nil, err
 	}
-	for _, j := range in.Jobs {
-		var cols []int
-		var vals []float64
-		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
-			cols = append(cols, int(t)-1)
-			vals = append(vals, 1)
-		}
-		if err := prob.AddSparse(cols, vals, lp.GE, float64(j.Length)); err != nil {
-			return nil, err
-		}
-	}
+	sep := newSeparator(in)
 	res := &ExactLPResult{Cuts: len(in.Jobs)}
 	maxRounds := 20*T + 200
 	for round := 0; round < maxRounds; round++ {
@@ -62,8 +51,9 @@ func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("activetime: exact LP master %v", sol.Status)
 		}
+		res.Pivots += sol.Iterations
 		y := sol.Float64s()
-		A, violated := separate(in, y)
+		A, violated := sep.separate(y)
 		if !violated {
 			res.Objective = sol.Objective
 			res.Y = make([]*big.Rat, T+1)

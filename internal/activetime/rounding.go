@@ -60,12 +60,18 @@ func roundWithLP(in *core.Instance, lpres *LPResult) (*RoundingResult, error) {
 	copy(jobsByDeadline, in.Jobs)
 	sortJobsByDeadline(jobsByDeadline)
 
+	// Persistent feasibility network: jobs switch on as the deadline prefix
+	// grows, slots switch on as they are opened, and each "can this barely
+	// open slot stay closed?" query is one Reset+max-flow with no graph
+	// rebuilding.
+	fc := newFeasChecker(in.G, jobsByDeadline)
 	opened := make(map[core.Time]bool)
 	var openList []core.Time
 	openSlot := func(t core.Time) {
 		if !opened[t] {
 			opened[t] = true
 			openList = append(openList, t)
+			fc.setSlot(t, true)
 		}
 	}
 	var cumY float64
@@ -76,6 +82,7 @@ func roundWithLP(in *core.Instance, lpres *LPResult) (*RoundingResult, error) {
 	for i, d := range deadlines {
 		cumY += segY[i]
 		for prefix < len(jobsByDeadline) && jobsByDeadline[prefix].Deadline <= d {
+			fc.setJob(prefix, true)
 			prefix++
 		}
 		yi := segY[i] + proxyVal
@@ -127,7 +134,7 @@ func roundWithLP(in *core.Instance, lpres *LPResult) (*RoundingResult, error) {
 			default:
 				// Barely open: try to close it, keeping a proxy.
 				res.FlowChecks++
-				if checkFeasibleSubset(in.G, jobsByDeadline[:prefix], openList) {
+				if fc.feasible() {
 					proxyVal = frac
 					proxyPtr = fslot
 					res.ProxyCarries++

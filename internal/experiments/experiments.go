@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"time"
 )
 
 // Table is one experiment's result.
@@ -121,16 +122,27 @@ func ByID(id string) (Runner, bool) {
 	return Runner{}, false
 }
 
-// RunAll executes every experiment and renders it to w.
-func RunAll(cfg Config, w io.Writer) error {
-	for _, r := range All() {
+// RunEach executes the given experiments in order, rendering each table to
+// w. If observe is non-nil it receives every runner with its finished table
+// and wall time (cmd/paperbench uses it for the -bench-json trajectory).
+func RunEach(cfg Config, w io.Writer, runners []Runner, observe func(Runner, *Table, time.Duration)) error {
+	for _, r := range runners {
+		start := time.Now()
 		tab, err := r.Run(cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", r.ID, err)
 		}
+		if observe != nil {
+			observe(r, tab, time.Since(start))
+		}
 		tab.Render(w)
 	}
 	return nil
+}
+
+// RunAll executes every experiment and renders it to w.
+func RunAll(cfg Config, w io.Writer) error {
+	return RunEach(cfg, w, All(), nil)
 }
 
 func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

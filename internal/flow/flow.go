@@ -8,6 +8,22 @@
 // Benders-style cut-generation procedure that solves the active-time LP
 // (capacities y_t and g·y_t are fractional there). The busy-time flow-cover
 // 2-approximation also routes integral 2-unit flows through a job DAG.
+//
+// # Reuse contract
+//
+// Networks are built once and re-solved many times. Max mutates residual
+// capacities, so between solves the caller restores state with Reset (every
+// edge back to its reference capacity, all flow discarded) and/or
+// SetCapacity (one edge re-capacitated with its flow cleared, becoming the
+// new reference that later Resets restore). The topology is immutable after
+// construction: AddNode/AddEdge may not be interleaved with solves that
+// expect Reset to restore a consistent state across calls, but adding edges
+// before the first Max and re-capacitating them forever after is the
+// intended pattern — the cut-generation separation oracle and the
+// minimal-feasible closing loop both build their bipartite network once per
+// call and only touch the y-dependent capacities each round. All traversal
+// scratch (BFS queue, DFS path stack, level and iterator arrays) is owned
+// by the Network and reused, so a Reset+Max cycle performs no allocations.
 package flow
 
 // Capacity is the constraint satisfied by capacity types. It is restricted
@@ -18,17 +34,17 @@ type Capacity interface {
 }
 
 // edge is a directed arc with residual capacity cap; rev indexes the reverse
-// arc in adj[to].
+// arc in adj[to]. orig is the reference capacity restored by Reset (zero for
+// the implicit reverse arcs, so Reset also discards flow).
 type edge[C Capacity] struct {
-	to, rev int
-	cap     C
+	to, rev   int
+	cap, orig C
 }
 
-// EdgeID identifies an edge added with AddEdge and remembers its original
-// capacity so the flow through it can be recovered after Max.
+// EdgeID identifies an edge added with AddEdge so its capacity can be
+// updated with SetCapacity and the flow through it recovered after Max.
 type EdgeID[C Capacity] struct {
 	from, idx int
-	orig      C
 }
 
 // Network is a flow network. Create networks with NewNetwork; the zero value
@@ -38,6 +54,8 @@ type Network[C Capacity] struct {
 	eps   C // capacities <= eps are treated as exhausted (0 for int64)
 	level []int
 	iter  []int
+	queue []int
+	path  []int // DFS stack of nodes on the current augmenting path
 }
 
 // NewNetwork returns an empty network with n nodes. For float64 capacities,
@@ -56,21 +74,54 @@ func (g *Network[C]) AddNode() int {
 }
 
 // AddEdge adds a directed edge from u to v with the given capacity (clamped
-// at zero) and returns an identifier usable with Flow after running Max.
+// at zero) and returns an identifier usable with SetCapacity and, after
+// running Max, with Flow and Residual.
 func (g *Network[C]) AddEdge(u, v int, cap C) EdgeID[C] {
 	if cap < 0 {
 		cap = 0
 	}
-	a := edge[C]{to: v, rev: len(g.adj[v]), cap: cap}
-	b := edge[C]{to: u, rev: len(g.adj[u]), cap: 0}
+	a := edge[C]{to: v, rev: len(g.adj[v]), cap: cap, orig: cap}
+	b := edge[C]{to: u, rev: len(g.adj[u]), cap: 0, orig: 0}
 	g.adj[u] = append(g.adj[u], a)
 	g.adj[v] = append(g.adj[v], b)
-	return EdgeID[C]{from: u, idx: len(g.adj[u]) - 1, orig: cap}
+	return EdgeID[C]{from: u, idx: len(g.adj[u]) - 1}
+}
+
+// Reset restores every edge to its reference capacity, discarding all flow
+// routed by previous Max calls. Reference capacities are those given to
+// AddEdge, as later amended by SetCapacity.
+func (g *Network[C]) Reset() {
+	for u := range g.adj {
+		for i := range g.adj[u] {
+			e := &g.adj[u][i]
+			e.cap = e.orig
+		}
+	}
+}
+
+// SetCapacity sets the edge's reference capacity to c (clamped at zero) and
+// clears any flow through it: the forward residual becomes c and the paired
+// reverse residual returns to its own reference (zero for reverse arcs
+// created by AddEdge). Subsequent Resets restore the edge to c.
+func (g *Network[C]) SetCapacity(id EdgeID[C], c C) {
+	if c < 0 {
+		c = 0
+	}
+	e := &g.adj[id.from][id.idx]
+	e.cap, e.orig = c, c
+	r := &g.adj[e.to][e.rev]
+	r.cap = r.orig
+}
+
+// Capacity returns the edge's current reference capacity.
+func (g *Network[C]) Capacity(id EdgeID[C]) C {
+	return g.adj[id.from][id.idx].orig
 }
 
 // Flow returns the amount of flow currently routed through the edge.
 func (g *Network[C]) Flow(id EdgeID[C]) C {
-	return id.orig - g.adj[id.from][id.idx].cap
+	e := &g.adj[id.from][id.idx]
+	return e.orig - e.cap
 }
 
 // Residual returns the remaining capacity of the edge.
@@ -78,73 +129,102 @@ func (g *Network[C]) Residual(id EdgeID[C]) C {
 	return g.adj[id.from][id.idx].cap
 }
 
-func (g *Network[C]) bfs(s, t int) bool {
-	for i := range g.level {
-		g.level[i] = -1
+// ensureScratch sizes the reusable traversal buffers to the node count.
+func (g *Network[C]) ensureScratch() {
+	if n := len(g.adj); len(g.level) < n {
+		g.level = make([]int, n)
+		g.iter = make([]int, n)
+		g.queue = make([]int, 0, n)
+		g.path = make([]int, 0, n)
 	}
-	queue := make([]int, 0, len(g.adj))
+}
+
+func (g *Network[C]) bfs(s, t int) bool {
+	level := g.level
+	for i := range g.adj {
+		level[i] = -1
+	}
+	queue := g.queue[:0]
 	queue = append(queue, s)
-	g.level[s] = 0
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
+	level[s] = 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, e := range g.adj[u] {
-			if e.cap > g.eps && g.level[e.to] < 0 {
-				g.level[e.to] = g.level[u] + 1
+			if e.cap > g.eps && level[e.to] < 0 {
+				level[e.to] = level[u] + 1
 				queue = append(queue, e.to)
 			}
 		}
 	}
-	return g.level[t] >= 0
+	g.queue = queue
+	return level[t] >= 0
 }
 
-func (g *Network[C]) dfs(u, t int, f C) C {
-	if u == t {
-		return f
+// augment finds one augmenting path from s to t in the current level graph
+// and pushes its bottleneck flow, using an explicit stack instead of
+// recursion. It returns the amount pushed (0 when the level graph admits no
+// further path). Per-node edge iterators (g.iter) persist across calls
+// within a phase, giving the standard O(VE) blocking-flow bound.
+func (g *Network[C]) augment(s, t int) C {
+	path := g.path[:0]
+	u := s
+	for {
+		if u == t {
+			// Bottleneck along the path, then push.
+			var bottle C
+			for k, v := range path {
+				c := g.adj[v][g.iter[v]].cap
+				if k == 0 || c < bottle {
+					bottle = c
+				}
+			}
+			for _, v := range path {
+				e := &g.adj[v][g.iter[v]]
+				e.cap -= bottle
+				g.adj[e.to][e.rev].cap += bottle
+			}
+			g.path = path
+			return bottle
+		}
+		advanced := false
+		for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
+			e := &g.adj[u][g.iter[u]]
+			if e.cap > g.eps && g.level[e.to] == g.level[u]+1 {
+				path = append(path, u)
+				u = e.to
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			g.level[u] = -2 // dead end; skip for the rest of this phase
+			if u == s {
+				g.path = path
+				return 0
+			}
+			u = path[len(path)-1]
+			path = path[:len(path)-1]
+			g.iter[u]++ // move past the dead edge
+		}
 	}
-	for ; g.iter[u] < len(g.adj[u]); g.iter[u]++ {
-		e := &g.adj[u][g.iter[u]]
-		if e.cap <= g.eps || g.level[e.to] != g.level[u]+1 {
-			continue
-		}
-		d := f
-		if e.cap < d {
-			d = e.cap
-		}
-		got := g.dfs(e.to, t, d)
-		if got > g.eps {
-			e.cap -= got
-			g.adj[e.to][e.rev].cap += got
-			return got
-		}
-	}
-	g.level[u] = -2 // dead end; skip on subsequent dfs calls in this phase
-	return 0
 }
 
 // Max computes the maximum flow from s to t, mutating the residual network.
-// It may be called once per network.
+// It may be called repeatedly: each call continues from the current residual
+// state, so callers wanting a fresh solve use Reset (and/or SetCapacity)
+// first.
 func (g *Network[C]) Max(s, t int) C {
 	if s == t {
 		return 0
 	}
-	g.level = make([]int, len(g.adj))
-	g.iter = make([]int, len(g.adj))
+	g.ensureScratch()
 	var total C
-	var inf C
-	// A capacity larger than any finite path bottleneck.
-	switch p := any(&inf).(type) {
-	case *int64:
-		*p = 1 << 62
-	case *float64:
-		*p = 1e300
-	}
 	for g.bfs(s, t) {
-		for i := range g.iter {
+		for i := range g.adj {
 			g.iter[i] = 0
 		}
 		for {
-			f := g.dfs(s, t, inf)
+			f := g.augment(s, t)
 			if f <= g.eps {
 				break
 			}

@@ -94,7 +94,7 @@ func TestQuickFlowConservationAtSource(t *testing.T) {
 		var out int64
 		for _, id := range srcEdges {
 			fl := g.Flow(id)
-			if fl < 0 || fl > id.orig {
+			if fl < 0 || fl > g.Capacity(id) {
 				return false
 			}
 			out += fl

@@ -1,0 +1,143 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+type edgeSpec struct {
+	u, v int
+	c    int64
+}
+
+func randGraph(rng *rand.Rand) (n int, specs []edgeSpec) {
+	n = 3 + rng.Intn(8)
+	edges := 1 + rng.Intn(4*n)
+	for e := 0; e < edges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		specs = append(specs, edgeSpec{u, v, int64(rng.Intn(12))})
+	}
+	return n, specs
+}
+
+// TestResetMatchesFreshNetwork: after Max has consumed residuals, Reset
+// must restore the network so a second Max matches a freshly built copy.
+func TestResetMatchesFreshNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n, specs := randGraph(rng)
+		g := NewNetwork[int64](n, 0)
+		for _, s := range specs {
+			g.AddEdge(s.u, s.v, s.c)
+		}
+		first := g.Max(0, n-1)
+		g.Reset()
+		second := g.Max(0, n-1)
+		if first != second {
+			t.Fatalf("trial %d: reset re-solve %d != first solve %d", trial, second, first)
+		}
+		fresh := NewNetwork[int64](n, 0)
+		for _, s := range specs {
+			fresh.AddEdge(s.u, s.v, s.c)
+		}
+		if want := fresh.Max(0, n-1); second != want {
+			t.Fatalf("trial %d: reset re-solve %d != fresh network %d", trial, second, want)
+		}
+	}
+}
+
+// TestSetCapacityMatchesFreshNetwork: re-capacitating a random subset of
+// edges and re-solving on the Reset network must equal building the updated
+// network from scratch — the contract the Benders separation oracle and the
+// minimal-feasible closing loop rely on.
+func TestSetCapacityMatchesFreshNetwork(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n, specs := randGraph(rng)
+		g := NewNetwork[int64](n, 0)
+		ids := make([]EdgeID[int64], len(specs))
+		for i, s := range specs {
+			ids[i] = g.AddEdge(s.u, s.v, s.c)
+		}
+		g.Max(0, n-1) // dirty the residuals
+		// Mutate a random subset (including down to zero and up past the
+		// original), then Reset+Max.
+		for rounds := 0; rounds < 3; rounds++ {
+			for i := range specs {
+				if rng.Intn(3) == 0 {
+					specs[i].c = int64(rng.Intn(15))
+					g.SetCapacity(ids[i], specs[i].c)
+				}
+			}
+			g.Reset()
+			got := g.Max(0, n-1)
+			fresh := NewNetwork[int64](n, 0)
+			for _, s := range specs {
+				fresh.AddEdge(s.u, s.v, s.c)
+			}
+			if want := fresh.Max(0, n-1); got != want {
+				t.Fatalf("trial %d round %d: reuse %d != fresh %d", trial, rounds, got, want)
+			}
+		}
+	}
+}
+
+// TestSetCapacityFloatMatchesFresh runs the same reuse-vs-fresh equivalence
+// on the float64 instantiation the LP separation oracle uses.
+func TestSetCapacityFloatMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 200; trial++ {
+		n, specs := randGraph(rng)
+		g := NewNetwork[float64](n, 1e-12)
+		ids := make([]EdgeID[float64], len(specs))
+		caps := make([]float64, len(specs))
+		for i, s := range specs {
+			caps[i] = float64(s.c) / 4
+			ids[i] = g.AddEdge(s.u, s.v, caps[i])
+		}
+		g.Max(0, n-1)
+		for i := range specs {
+			if rng.Intn(2) == 0 {
+				caps[i] = float64(rng.Intn(15)) / 4
+				g.SetCapacity(ids[i], caps[i])
+			}
+		}
+		g.Reset()
+		got := g.Max(0, n-1)
+		fresh := NewNetwork[float64](n, 1e-12)
+		for i, s := range specs {
+			fresh.AddEdge(s.u, s.v, caps[i])
+		}
+		want := fresh.Max(0, n-1)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: reuse %v != fresh %v", trial, got, want)
+		}
+	}
+}
+
+// TestSetCapacityClearsFlow: setting a capacity mid-stream zeroes the
+// edge's recorded flow and restores the reverse residual.
+func TestSetCapacityClearsFlow(t *testing.T) {
+	g := NewNetwork[int64](3, 0)
+	a := g.AddEdge(0, 1, 5)
+	b := g.AddEdge(1, 2, 5)
+	if got := g.Max(0, 2); got != 5 {
+		t.Fatalf("max flow %d, want 5", got)
+	}
+	if g.Flow(a) != 5 || g.Flow(b) != 5 {
+		t.Fatalf("flows (%d,%d), want (5,5)", g.Flow(a), g.Flow(b))
+	}
+	g.SetCapacity(a, 2)
+	if g.Flow(a) != 0 || g.Residual(a) != 2 || g.Capacity(a) != 2 {
+		t.Fatalf("after SetCapacity: flow %d residual %d cap %d, want 0/2/2",
+			g.Flow(a), g.Residual(a), g.Capacity(a))
+	}
+	g.Reset()
+	if got := g.Max(0, 2); got != 2 {
+		t.Fatalf("re-solve %d, want 2", got)
+	}
+}

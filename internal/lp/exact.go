@@ -2,6 +2,7 @@ package lp
 
 import (
 	"errors"
+	"math"
 	"math/big"
 )
 
@@ -25,11 +26,15 @@ func (s *RatSolution) Float64s() []float64 {
 // SolveExact optimizes the problem in exact rational arithmetic using
 // Bland's rule (guaranteed termination). Input float64 coefficients are
 // converted exactly via big.Rat.SetFloat64, so integral and dyadic data stay
-// exact. Intended for small problems and for validating Solve.
+// exact. Variable upper bounds set with SetUpper are materialized as
+// explicit "x_j <= u" rows (the rational engine has no bounded-variable
+// pivoting; it exists for validation, not speed). Intended for small
+// problems and for validating Solve.
 func SolveExact(p *Problem) (*RatSolution, error) {
 	if p.numVars == 0 {
 		return nil, errors.New("lp: problem has no variables")
 	}
+	p = boundsAsRows(p)
 	t, err := newRatTableau(p)
 	if err != nil {
 		return nil, err
@@ -52,6 +57,40 @@ func SolveExact(p *Problem) (*RatSolution, error) {
 		sol.Objective = obj
 	}
 	return sol, nil
+}
+
+// boundsAsRows returns a shallow copy of p with every finite upper bound
+// appended as an explicit LE row, leaving p untouched. Problems without
+// finite bounds are returned as-is.
+func boundsAsRows(p *Problem) *Problem {
+	finite := 0
+	for _, u := range p.upper {
+		if !math.IsInf(u, 1) {
+			finite++
+		}
+	}
+	if finite == 0 {
+		return p
+	}
+	q := &Problem{
+		numVars: p.numVars,
+		c:       p.c,
+		rows:    make([][]entry, len(p.rows), len(p.rows)+finite),
+		rel:     make([]Relation, len(p.rel), len(p.rel)+finite),
+		b:       make([]float64, len(p.b), len(p.b)+finite),
+	}
+	copy(q.rows, p.rows)
+	copy(q.rel, p.rel)
+	copy(q.b, p.b)
+	for j, u := range p.upper {
+		if math.IsInf(u, 1) {
+			continue
+		}
+		q.rows = append(q.rows, []entry{{j, 1}})
+		q.rel = append(q.rel, LE)
+		q.b = append(q.b, u)
+	}
+	return q
 }
 
 func floatRat(f float64) string {
