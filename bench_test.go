@@ -129,6 +129,44 @@ func BenchmarkSolveLPCutGen(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveLPLargeHorizon measures the full LP1 pipeline on the
+// large-horizon laminar/nested family — the workload the sparse revised
+// simplex and batched cut separation exist for. The PR 1 dense pipeline
+// could not run these sizes at all (its dual simplex mis-reported the
+// feasible master as infeasible past T ≈ 1000), so the single-cut
+// sub-benchmarks double as the baseline: same revised engine, PR 1's
+// one-cut-per-round separation. Separation rounds are reported so the
+// batching win is visible alongside wall time.
+func BenchmarkSolveLPLargeHorizon(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		solve func(*core.Instance) (*activetime.LPResult, error)
+	}{
+		{"batched", activetime.SolveLP},
+		{"single-cut", activetime.SolveLPSingleCut},
+	} {
+		for _, T := range []int{1024, 2048} {
+			b.Run(fmt.Sprintf("%s/T=%d", bc.name, T), func(b *testing.B) {
+				in := gen.LargeHorizon(gen.RandomConfig{
+					N: T / 8, Horizon: T, MaxLen: 16, G: 4, Seed: 3,
+				})
+				b.ReportAllocs()
+				b.ResetTimer()
+				var rounds, cuts int
+				for i := 0; i < b.N; i++ {
+					res, err := bc.solve(in)
+					if err != nil {
+						b.Fatal(err)
+					}
+					rounds, cuts = res.Rounds, res.Cuts
+				}
+				b.ReportMetric(float64(rounds), "rounds")
+				b.ReportMetric(float64(cuts), "cuts")
+			})
+		}
+	}
+}
+
 func BenchmarkRoundLP(b *testing.B) {
 	in := gen.RandomFlexible(gen.RandomConfig{
 		N: 20, Horizon: 30, MaxLen: 4, Slack: 4, G: 3, Seed: 5,
@@ -339,3 +377,5 @@ func BenchmarkE14_SpecialCases(b *testing.B) { benchExperiment(b, "E14") }
 func BenchmarkE15_Online(b *testing.B) { benchExperiment(b, "E15") }
 
 func BenchmarkE16_Scaling(b *testing.B) { benchExperiment(b, "E16") }
+
+func BenchmarkE17_LPScaling(b *testing.B) { benchExperiment(b, "E17") }

@@ -1,13 +1,16 @@
 // Command paperbench regenerates every experiment table of the
-// reproduction (E1-E16, one per figure/claim of the paper; see DESIGN.md).
+// reproduction (E1-E17, one per figure/claim of the paper plus the
+// large-horizon LP scaling record; see DESIGN.md).
 //
 // Usage:
 //
 //	paperbench [-quick] [-only E5] [-seed 7] [-bench-json out.json]
 //
 // With -bench-json, per-experiment wall times are also written to the given
-// path as a JSON array (one object per experiment: id, name, millis, rows),
-// feeding the machine-readable benchmark trajectory.
+// path as a JSON array (one object per experiment: id, name, millis, rows,
+// columns — the table's column headers, so downstream bench tooling can pin
+// the effort columns it parses), feeding the machine-readable benchmark
+// trajectory. The golden test in this package locks the schema.
 package main
 
 import (
@@ -28,12 +31,16 @@ func main() {
 	}
 }
 
-// benchRecord is one experiment's machine-readable timing.
+// benchRecord is one experiment's machine-readable timing. Its JSON schema
+// (keys, experiment IDs/names, table columns) is pinned by the golden test;
+// renaming a key or an effort column is a breaking change for downstream
+// bench tooling and must update the golden file deliberately.
 type benchRecord struct {
-	ID     string  `json:"id"`
-	Name   string  `json:"name"`
-	Millis float64 `json:"millis"`
-	Rows   int     `json:"rows"`
+	ID      string   `json:"id"`
+	Name    string   `json:"name"`
+	Millis  float64  `json:"millis"`
+	Rows    int      `json:"rows"`
+	Columns []string `json:"columns"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -59,10 +66,11 @@ func run(args []string, stdout io.Writer) error {
 	err := experiments.RunEach(cfg, stdout, runners,
 		func(r experiments.Runner, tab *experiments.Table, elapsed time.Duration) {
 			records = append(records, benchRecord{
-				ID:     r.ID,
-				Name:   r.Name,
-				Millis: float64(elapsed.Microseconds()) / 1000,
-				Rows:   len(tab.Rows),
+				ID:      r.ID,
+				Name:    r.Name,
+				Millis:  float64(elapsed.Microseconds()) / 1000,
+				Rows:    len(tab.Rows),
+				Columns: tab.Columns,
 			})
 		})
 	if err != nil {

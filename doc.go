@@ -13,14 +13,23 @@
 // regenerates each figure-level claim. See DESIGN.md for the inventory and
 // EXPERIMENTS.md for the paper-vs-measured record.
 //
-// The Section-3 solve pipeline is fully incremental: the simplex engine
-// (internal/lp) supports native variable upper bounds and warm-started
-// re-solves from the previous optimal basis (Problem.ResolveFrom, dual
-// simplex over newly appended cuts), and the max-flow substrate
-// (internal/flow) supports Reset/SetCapacity so separation and feasibility
-// networks are built once and only re-capacitated between queries. The
-// Benders cut generation in internal/activetime rides both: one tableau and
-// one flow network per SolveLP call, re-used across every cut round. See
-// the package comments of internal/lp and internal/flow for the exact
-// warm-start and reuse contracts.
+// The Section-3 solve pipeline is fully incremental and scales to large
+// horizons: the simplex engine (internal/lp) is a sparse revised simplex —
+// constraint rows in compressed sparse form, an explicit basis inverse,
+// native variable upper bounds, and warm-started re-solves from the
+// previous optimal basis (Problem.ResolveFrom, bounded dual simplex with
+// batched bound flips over newly appended cuts; a warm claim of anything
+// but a verified optimum falls back to a cold solve). The max-flow
+// substrate (internal/flow) supports Reset/SetCapacity so separation and
+// feasibility networks are built once and only re-capacitated between
+// queries. The Benders cut generation in internal/activetime rides both
+// and batches separation: each round's single max-flow probe yields the
+// global minimum cut plus per-deficient-job Hall violators (deduplicated
+// against the master), which is what carries LP1 past T ≈ 1000 slots —
+// the dense single-cut pipeline failed outright there. One solver state,
+// one separation network, and one feasibility checker per call are reused
+// across every cut round, every rounding repair probe, and every exact
+// branch-and-bound node. See the package comments of internal/lp and
+// internal/flow for the exact warm-start and reuse contracts, and
+// experiment E17 for the measured scaling record.
 package repro

@@ -25,6 +25,11 @@ type ExactOptions struct {
 // when the committed open count cannot beat the incumbent. The incumbent is
 // warm-started with a minimal feasible solution (Theorem 1), and the LP
 // optimum rounded up provides a global lower bound for early exit.
+//
+// All pruning max-flows run on one persistent feasibility checker whose
+// slot set is toggled incrementally along the DFS (closing a slot before
+// the "closed" branch, restoring it after), so no search node builds a
+// network.
 func SolveExact(in *core.Instance, opts ExactOptions) (*core.ActiveSchedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -34,7 +39,8 @@ func SolveExact(in *core.Instance, opts ExactOptions) (*core.ActiveSchedule, err
 		maxNodes = 5_000_000
 	}
 	slots := AllSlots(in)
-	if !CheckFeasible(in, slots) {
+	fc := fullChecker(in, slots)
+	if !fc.feasible() {
 		return nil, ErrInfeasible
 	}
 	// Warm start.
@@ -54,7 +60,7 @@ func SolveExact(in *core.Instance, opts ExactOptions) (*core.ActiveSchedule, err
 	if len(best) <= lb {
 		return Assign(in, best)
 	}
-	s := &exactSearch{in: in, slots: slots, best: append([]core.Time(nil), best...), lb: lb, maxNodes: maxNodes}
+	s := &exactSearch{in: in, slots: slots, fc: fc, best: append([]core.Time(nil), best...), lb: lb, maxNodes: maxNodes}
 	// Decide from the rightmost slot down.
 	s.dfs(len(slots)-1, nil)
 	if s.nodesExceeded {
@@ -66,6 +72,7 @@ func SolveExact(in *core.Instance, opts ExactOptions) (*core.ActiveSchedule, err
 type exactSearch struct {
 	in            *core.Instance
 	slots         []core.Time
+	fc            *feasChecker // open set == committedOpen ∪ slots[:idx+1]
 	best          []core.Time
 	lb            int
 	nodes         int64
@@ -74,7 +81,11 @@ type exactSearch struct {
 }
 
 // dfs decides slots[idx]; committedOpen holds slots already opened among
-// indices greater than idx.
+// indices greater than idx. The persistent checker's open set mirrors
+// committedOpen ∪ slots[:idx+1] on entry: the "closed" branch toggles one
+// slot off for its subtree and restores it, and the "open" branch inherits
+// the state unchanged, so each node's pruning max-flow is one Reset+solve
+// with no network construction.
 func (s *exactSearch) dfs(idx int, committedOpen []core.Time) {
 	if s.nodesExceeded || len(s.best) <= s.lb {
 		return
@@ -88,10 +99,7 @@ func (s *exactSearch) dfs(idx int, committedOpen []core.Time) {
 		return // cannot improve
 	}
 	// Feasibility with all undecided slots open.
-	avail := make([]core.Time, 0, len(committedOpen)+idx+1)
-	avail = append(avail, committedOpen...)
-	avail = append(avail, s.slots[:idx+1]...)
-	if !CheckFeasible(s.in, avail) {
+	if !s.fc.feasible() {
 		return
 	}
 	if idx < 0 {
@@ -102,7 +110,9 @@ func (s *exactSearch) dfs(idx int, committedOpen []core.Time) {
 		return
 	}
 	// Try closing slots[idx] first.
+	s.fc.setSlot(s.slots[idx], false)
 	s.dfs(idx-1, committedOpen)
+	s.fc.setSlot(s.slots[idx], true)
 	// Then opening it.
 	s.dfs(idx-1, append(committedOpen, s.slots[idx]))
 }

@@ -1,0 +1,55 @@
+package activetime
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// FuzzSolveLP drives the whole LP1 pipeline from raw instance bytes: any
+// input that decodes and validates must solve without panicking, and on
+// instances small enough for the rational engine the float pipeline's
+// optimum must match the exact optimum to 1e-6 (and both engines must
+// agree on infeasibility). The seed corpus under testdata/fuzz covers the
+// interesting decode shapes; `go test -fuzz=FuzzSolveLP` explores from
+// there.
+func FuzzSolveLP(f *testing.F) {
+	f.Add([]byte(`{"g":2,"jobs":[{"id":0,"release":0,"deadline":4,"length":2}]}`))
+	f.Add([]byte(`{"g":1,"jobs":[{"id":0,"release":0,"deadline":2,"length":2},{"id":1,"release":1,"deadline":3,"length":1}]}`))
+	f.Add([]byte(`{"g":3,"jobs":[{"id":0,"release":0,"deadline":6,"length":1},{"id":1,"release":2,"deadline":5,"length":3},{"id":2,"release":1,"deadline":4,"length":2}]}`))
+	f.Add([]byte(`{"g":1,"jobs":[{"id":0,"release":0,"deadline":1,"length":1},{"id":1,"release":0,"deadline":1,"length":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := core.ReadInstance(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Bound the work so the exact rational cross-check stays tractable
+		// and hostile horizons cannot allocate per-slot state unchecked.
+		if len(in.Jobs) > 8 || in.Horizon() > 24 || in.G > 8 {
+			return
+		}
+		res, err := SolveLP(in)
+		if err == ErrInfeasible {
+			if _, xerr := SolveLPExact(in); xerr != ErrInfeasible {
+				t.Fatalf("float pipeline infeasible, exact pipeline: %v", xerr)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("SolveLP: %v", err)
+		}
+		exact, err := SolveLPExact(in)
+		if err != nil {
+			t.Fatalf("SolveLP optimal but SolveLPExact: %v", err)
+		}
+		want, _ := exact.Objective.Float64()
+		if math.Abs(res.Objective-want) > 1e-6 {
+			t.Fatalf("LP objective %.9f, exact %.9f", res.Objective, want)
+		}
+		if res.Objective < -1e-9 {
+			t.Fatalf("negative LP objective %v", res.Objective)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package activetime
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/flow"
@@ -62,15 +63,35 @@ func newMaster(in *core.Instance) (*lp.Problem, error) {
 // where cov_A(t) is the number of jobs of A whose window contains t. SolveLP
 // generates these cuts lazily from minimum cuts (Benders decomposition) and
 // solves the growing master LP with the simplex engine. Each round either
-// proves optimality or adds a previously absent violated cut, so the
+// proves optimality or adds previously absent violated cuts, so the
 // procedure terminates.
+//
+// Separation is batched: every round runs one max-flow probe and harvests
+// every violated job set it surfaces — the source side of a minimum cut
+// plus one Hall-style violator per uncovered deficient job (see
+// separateAll) — deduplicated against the cuts already in the master. At
+// large horizons this collapses the long single-cut tail (dozens of rounds
+// re-solving the master for one cut each) into a handful of rounds.
 //
 // The whole pipeline is incremental: y upper bounds live inside the simplex
 // (no constraint rows), each master re-solve warm-starts from the previous
-// optimal basis via lp.Problem.ResolveFrom (dual simplex on the one new
-// cut), and the separation network is built once and only re-capacitated on
-// its y-dependent edges each round.
+// optimal basis via lp.Problem.ResolveFrom (dual simplex on the appended
+// cuts), and the separation network is built once and only re-capacitated
+// on its y-dependent edges each round.
 func SolveLP(in *core.Instance) (*LPResult, error) {
+	return solveLP(in, true)
+}
+
+// SolveLPSingleCut is the PR 1 reference pipeline kept for metamorphic
+// testing and ablation: identical master and separation oracle, but each
+// round adds only the single cut induced by the global minimum cut. The
+// optimum is the same as SolveLP's; only the effort differs (the property
+// suite asserts the former, the scaling experiment reports the latter).
+func SolveLPSingleCut(in *core.Instance) (*LPResult, error) {
+	return solveLP(in, false)
+}
+
+func solveLP(in *core.Instance, batch bool) (*LPResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -84,6 +105,7 @@ func SolveLP(in *core.Instance) (*LPResult, error) {
 	}
 	sep := newSeparator(in)
 	res := &LPResult{Cuts: len(in.Jobs)}
+	seen := make(map[string]bool) // job sets whose cuts are in the master
 	var basis *lp.Basis
 	maxRounds := 20*T + 200
 	for round := 0; round < maxRounds; round++ {
@@ -98,8 +120,30 @@ func SolveLP(in *core.Instance) (*LPResult, error) {
 		basis = nextBasis
 		res.Pivots += sol.Iterations
 		y := sol.X
-		A, violated := sep.separate(y)
-		if !violated {
+		var batchA [][]bool
+		if batch {
+			batchA = sep.separateAll(y)
+		} else if A, violated := sep.separate(y); violated {
+			batchA = [][]bool{A}
+		}
+		added := 0
+		for _, A := range batchA {
+			key := jobSetKey(A)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cols, vals, rhs := cutFor(in, A)
+			if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
+				return nil, err
+			}
+			added++
+		}
+		if added == 0 {
+			// Converged: either the probe found no violated set, or every
+			// set it surfaced is already in the master and satisfied within
+			// the solver's tolerance (the probe's 1e-6 flow slack and the
+			// master's 1e-6 row tolerance meet here).
 			res.Y = make([]float64, T+1)
 			for t := 1; t <= T; t++ {
 				v := y[t-1]
@@ -114,13 +158,20 @@ func SolveLP(in *core.Instance) (*LPResult, error) {
 			res.Objective = sol.Objective
 			return res, nil
 		}
-		cols, vals, rhs := cutFor(in, A)
-		if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
-			return nil, err
-		}
-		res.Cuts++
+		res.Cuts += added
 	}
 	return nil, fmt.Errorf("activetime: LP cut generation did not converge in %d rounds", maxRounds)
+}
+
+// jobSetKey packs a job subset into a compact map key.
+func jobSetKey(A []bool) string {
+	b := make([]byte, (len(A)+7)/8)
+	for i, a := range A {
+		if a {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	return string(b)
 }
 
 // separator is the reusable Benders separation oracle: the fractional
@@ -131,6 +182,7 @@ type separator struct {
 	in        *core.Instance
 	net       *flow.Network[float64]
 	src, sink int
+	srcEdges  []flow.EdgeID[float64]   // index i: source → job i
 	slotEdges []flow.EdgeID[float64]   // index t-1: slot t → sink
 	jobEdges  [][]flow.EdgeID[float64] // per job, per window slot offset
 	total     float64
@@ -145,6 +197,7 @@ func newSeparator(in *core.Instance) *separator {
 		net:       flow.NewNetwork[float64](2+nJobs+T, eps),
 		src:       0,
 		sink:      1 + nJobs + T,
+		srcEdges:  make([]flow.EdgeID[float64], nJobs),
 		slotEdges: make([]flow.EdgeID[float64], T),
 		jobEdges:  make([][]flow.EdgeID[float64], nJobs),
 	}
@@ -153,7 +206,7 @@ func newSeparator(in *core.Instance) *separator {
 		s.slotEdges[t-1] = s.net.AddEdge(slotNode(core.Time(t)), s.sink, 0)
 	}
 	for i, j := range in.Jobs {
-		s.net.AddEdge(s.src, 1+i, float64(j.Length))
+		s.srcEdges[i] = s.net.AddEdge(s.src, 1+i, float64(j.Length))
 		s.total += float64(j.Length)
 		ids := make([]flow.EdgeID[float64], 0, int(j.LastSlot()-j.FirstSlot())+1)
 		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
@@ -164,10 +217,9 @@ func newSeparator(in *core.Instance) *separator {
 	return s
 }
 
-// separate solves the fractional feasibility subproblem for y and, if the
-// max flow falls short of P, returns the source-side job set A of a minimum
-// cut.
-func (s *separator) separate(y []float64) (A []bool, violated bool) {
+// load rewrites the y-dependent capacities and re-runs max-flow, reporting
+// whether y is infeasible (flow short of the total demand).
+func (s *separator) load(y []float64) bool {
 	s.net.Reset()
 	g := float64(s.in.G)
 	for t := range y {
@@ -180,7 +232,14 @@ func (s *separator) separate(y []float64) (A []bool, violated bool) {
 		}
 	}
 	got := s.net.Max(s.src, s.sink)
-	if got >= s.total-1e-6 {
+	return got < s.total-1e-6
+}
+
+// separate solves the fractional feasibility subproblem for y and, if the
+// max flow falls short of P, returns the source-side job set A of a minimum
+// cut.
+func (s *separator) separate(y []float64) (A []bool, violated bool) {
+	if !s.load(y) {
 		return nil, false
 	}
 	side := s.net.MinCutSource(s.src)
@@ -189,6 +248,83 @@ func (s *separator) separate(y []float64) (A []bool, violated bool) {
 		A[i] = side[1+i]
 	}
 	return A, true
+}
+
+// separateAll solves the feasibility subproblem once and, when y is
+// infeasible, harvests every violated job set the single max-flow probe
+// surfaces:
+//
+//   - the source side of a minimum cut (the most violated canonical cut,
+//     by max-flow/min-cut), and
+//   - for each job whose source edge the flow left unsaturated (a job short
+//     of its demand) and that no earlier harvested set covers, the set of
+//     jobs reachable from it in the residual graph with the source node
+//     blocked (unblocked, every deficient job reaches the source over its
+//     own unsaturated supply edge, and all sets collapse onto the global
+//     minimum cut).
+//
+// Each harvested set is residual-closed away from the source, so the
+// standard cut-accounting argument shows its canonical cut is violated by
+// at least that job's deficiency — every returned set yields a valid
+// violated cut, and the batch localizes the deficiency per job instead of
+// aggregating it into one coarse cut per round.
+// maxBatchCuts caps the job sets harvested per probe (the global min cut
+// plus up to maxBatchCuts-1 per-job violators). Uncapped batching floods
+// the master — at T = 4096 it grows past two thousand rows, and the
+// revised simplex's O(m²)-per-pivot work swamps the rounds saved; capped,
+// the deepest deficiencies are localized first and the rest surface in
+// later rounds if the aggregate cut leaves them violated.
+const maxBatchCuts = 32
+
+func (s *separator) separateAll(y []float64) [][]bool {
+	if !s.load(y) {
+		return nil
+	}
+	nJobs := len(s.in.Jobs)
+	var out [][]bool
+	side := s.net.MinCutSource(s.src)
+	A := make([]bool, nJobs)
+	for i := range s.in.Jobs {
+		A[i] = side[1+i]
+	}
+	out = append(out, A)
+	// Deficient jobs, deepest deficiency first, so the cap keeps the most
+	// violated localized cuts.
+	type deficit struct {
+		job int
+		gap float64
+	}
+	var short []deficit
+	for i := range s.in.Jobs {
+		if gap := s.net.Residual(s.srcEdges[i]); gap > 1e-7 {
+			short = append(short, deficit{i, gap})
+		}
+	}
+	sort.Slice(short, func(a, b int) bool {
+		if short[a].gap != short[b].gap {
+			return short[a].gap > short[b].gap
+		}
+		return short[a].job < short[b].job
+	})
+	covered := make([]bool, nJobs)
+	for _, d := range short {
+		if len(out) >= maxBatchCuts {
+			break
+		}
+		if covered[d.job] {
+			continue
+		}
+		reach := s.net.ReachableFrom(1+d.job, s.src)
+		B := make([]bool, nJobs)
+		for k := 0; k < nJobs; k++ {
+			if reach[1+k] {
+				B[k] = true
+				covered[k] = true
+			}
+		}
+		out = append(out, B)
+	}
+	return out
 }
 
 // separate is the one-shot form kept for callers without a reusable

@@ -20,13 +20,15 @@ type ExactLPResult struct {
 }
 
 // SolveLPExact computes the optimal value of LP1 in exact rational
-// arithmetic: the same Benders cut generation as SolveLP, but with the
-// master solved by the big.Rat simplex. Separation still uses the float
+// arithmetic: the same batched Benders cut generation as SolveLP, but with
+// the master solved by the big.Rat simplex. Separation still uses the float
 // max-flow oracle (capacities are converted from the rational master
 // solution), then the final master optimum is exact for the generated cut
 // set; a last float separation confirms no cut is violated beyond
-// tolerance. Intended for small instances and for certifying SolveLP —
-// e.g. it proves the integrality-gap gadget's LP optimum is exactly g+1.
+// tolerance. Batching matters doubly here: every saved round saves a cold
+// rational solve of the whole master. Intended for small instances and for
+// certifying SolveLP — e.g. it proves the integrality-gap gadget's LP
+// optimum is exactly g+1.
 func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -41,6 +43,7 @@ func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
 	}
 	sep := newSeparator(in)
 	res := &ExactLPResult{Cuts: len(in.Jobs)}
+	seen := make(map[string]bool)
 	maxRounds := 20*T + 200
 	for round := 0; round < maxRounds; round++ {
 		res.Rounds++
@@ -53,8 +56,20 @@ func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
 		}
 		res.Pivots += sol.Iterations
 		y := sol.Float64s()
-		A, violated := sep.separate(y)
-		if !violated {
+		added := 0
+		for _, A := range sep.separateAll(y) {
+			key := jobSetKey(A)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			cols, vals, rhs := cutFor(in, A)
+			if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
+				return nil, err
+			}
+			added++
+		}
+		if added == 0 {
 			res.Objective = sol.Objective
 			res.Y = make([]*big.Rat, T+1)
 			res.Y[0] = new(big.Rat)
@@ -63,11 +78,7 @@ func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
 			}
 			return res, nil
 		}
-		cols, vals, rhs := cutFor(in, A)
-		if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
-			return nil, err
-		}
-		res.Cuts++
+		res.Cuts += added
 	}
 	return nil, fmt.Errorf("activetime: exact LP cut generation did not converge in %d rounds", maxRounds)
 }

@@ -147,16 +147,22 @@ func roundWithLP(in *core.Instance, lpres *LPResult) (*RoundingResult, error) {
 			res.InvariantViolated = true
 		}
 	}
-	// Final assignment; repair defensively if floating point left a gap.
-	sched, err := Assign(in, openList)
-	for err != nil {
+	// Defensive repair if floating point left a gap: probe the persistent
+	// checker (every job is switched on once the deadline sweep finishes),
+	// opening slots until it reports feasible — each probe is one
+	// Reset+max-flow on the network the rounding loop already owns. Only
+	// then is the one-shot assignment network built, exactly once.
+	for !fc.feasible() {
 		t, rerr := repairSlot(in, opened)
 		if rerr != nil {
-			return nil, fmt.Errorf("activetime: rounding produced infeasible slot set: %w", err)
+			return nil, fmt.Errorf("activetime: rounding produced infeasible slot set: %w", rerr)
 		}
 		openSlot(t)
 		res.Repairs++
-		sched, err = Assign(in, openList)
+	}
+	sched, err := Assign(in, openList)
+	if err != nil {
+		return nil, fmt.Errorf("activetime: rounding produced infeasible slot set: %w", err)
 	}
 	res.Schedule = sched
 	res.Opened = len(openList)

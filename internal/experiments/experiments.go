@@ -109,6 +109,7 @@ func All() []Runner {
 		{"E14", "Special interval classes (footnote 1)", E14SpecialCases},
 		{"E15", "Online busy time (Section 1.3 related work)", E15Online},
 		{"E16", "Wall-clock scaling of the polynomial algorithms", E16Scaling},
+		{"E17", "LP1 pipeline at large horizons (batched vs single-cut)", E17LPScaling},
 	}
 }
 

@@ -237,9 +237,25 @@ func (g *Network[C]) Max(s, t int) C {
 // MinCutSource returns the set of nodes reachable from s in the residual
 // network after Max has been run; this is the source side of a minimum cut.
 func (g *Network[C]) MinCutSource(s int) []bool {
+	return g.ReachableFrom(s, -1)
+}
+
+// ReachableFrom returns the set of nodes reachable from start along
+// residual edges after Max has been run, never expanding through blocked
+// (pass -1 to disable blocking). The blocked node is reported as true so
+// the walk skips it, but none of its outgoing edges are followed. The
+// batched Benders separation uses this to harvest one Hall-style violator
+// per deficient job: reachability from the job's node with the source
+// blocked, since every deficient job reaches the source over its
+// unsaturated supply edge and unrestricted reachability would collapse
+// every per-job set onto the global minimum cut.
+func (g *Network[C]) ReachableFrom(start, blocked int) []bool {
 	seen := make([]bool, len(g.adj))
-	stack := []int{s}
-	seen[s] = true
+	if blocked >= 0 {
+		seen[blocked] = true
+	}
+	stack := []int{start}
+	seen[start] = true
 	for len(stack) > 0 {
 		u := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]

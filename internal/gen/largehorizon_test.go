@@ -1,0 +1,54 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/activetime"
+)
+
+// TestLargeHorizonTinyHorizon pins the degenerate-parameter behavior: the
+// generator clamps requested horizons up to its minimum and must still
+// produce valid instances, never panic (a clamp to exactly T=16 once made
+// the nested-chain phase call rng.Intn(0)).
+func TestLargeHorizonTinyHorizon(t *testing.T) {
+	for _, h := range []int{0, 8, 16, 17, 32} {
+		in := LargeHorizon(RandomConfig{N: 6, Horizon: h, G: 2, Seed: 1})
+		if err := in.Validate(); err != nil {
+			t.Fatalf("Horizon=%d: %v", h, err)
+		}
+	}
+}
+
+// TestLargeHorizonShape checks the scaling family's structural promises:
+// valid instances, the requested horizon, a mix of laminar containers and
+// nested chains, and feasibility with every slot open (the generator clamps
+// lengths so the LP pipeline never sees an infeasible scaling instance).
+func TestLargeHorizonShape(t *testing.T) {
+	for _, T := range []int{64, 256, 1024} {
+		for seed := int64(0); seed < 3; seed++ {
+			in := LargeHorizon(RandomConfig{N: T / 8, Horizon: T, MaxLen: 16, G: 4, Seed: seed})
+			if err := in.Validate(); err != nil {
+				t.Fatalf("T=%d seed=%d: %v", T, seed, err)
+			}
+			if got := int(in.Horizon()); got > T {
+				t.Fatalf("T=%d seed=%d: horizon %d exceeds requested %d", T, seed, got, T)
+			}
+			if len(in.Jobs) < T/16 {
+				t.Fatalf("T=%d seed=%d: only %d jobs generated", T, seed, len(in.Jobs))
+			}
+			nested := 0
+			for i := 1; i < len(in.Jobs); i++ {
+				a, b := in.Jobs[i-1], in.Jobs[i]
+				if a.Release <= b.Release && b.Deadline <= a.Deadline {
+					nested++
+				}
+			}
+			if nested == 0 {
+				t.Fatalf("T=%d seed=%d: no nested window pairs", T, seed)
+			}
+			if !activetime.CheckFeasible(in, activetime.AllSlots(in)) {
+				t.Fatalf("T=%d seed=%d: infeasible with all slots open", T, seed)
+			}
+		}
+	}
+}

@@ -1,5 +1,5 @@
-// Package lp implements a dense bounded-variable simplex solver for linear
-// programs in the form
+// Package lp implements a sparse revised-simplex solver for bounded-variable
+// linear programs in the form
 //
 //	minimize    c·x
 //	subject to  a_i·x {<=,>=,=} b_i   for each constraint i
@@ -11,17 +11,31 @@
 // to validate the float engine and by callers that need exact optima on
 // small programs.
 //
-// The float engine handles variable upper bounds natively (nonbasic
-// variables may sit at either bound, and the ratio test admits bound
-// flips), so callers never pay a constraint row for a box constraint;
-// single-variable "x_j <= u" rows are also presolved into bounds. It further
-// supports incremental re-solves: ResolveFrom keeps the pivoted tableau
-// alive between calls, incorporates rows appended to the Problem since the
-// previous solve, and recovers optimality with the dual simplex instead of
-// re-running two-phase simplex from scratch. The pricing loop maintains a
-// persistent reduced-cost row updated in place at each pivot (refreshed
-// periodically against drift), so steady-state pivoting performs no
-// allocations.
+// # Sparse representation
+//
+// The float engine is a revised simplex: constraint rows are kept verbatim
+// in compressed sparse form (a per-row column/value list, mirrored by a
+// per-column view for FTRAN), logical columns are signed unit vectors that
+// are never materialized, and all pivoting state lives in an explicit basis
+// inverse of size m×m (m = constraint rows). Nothing of size n×m is ever
+// stored or scanned: entering columns are formed by FTRAN against the
+// column's sparse entries, and the pivot row is priced by sweeping only the
+// sparse rows that meet the leaving row's inverse row. For cut-generation
+// masters — few dense-ish rows over very many variables, the shape of the
+// active-time LP1 at large horizons — per-pivot work is O(m² + nnz) instead
+// of the dense engine's O(m·n).
+//
+// The engine handles variable upper bounds natively (nonbasic variables may
+// sit at either bound, and the ratio test admits bound flips), so callers
+// never pay a constraint row for a box constraint; single-variable
+// "x_j <= u" rows are also presolved into bounds. It supports incremental
+// re-solves: ResolveFrom keeps the factorized state alive between calls,
+// incorporates rows appended to the Problem since the previous solve by a
+// bordered extension of the basis inverse, and recovers optimality with the
+// dual simplex instead of re-running two-phase simplex from scratch. The
+// pricing loop maintains a persistent reduced-cost row updated in place at
+// each pivot (refreshed periodically against drift), so steady-state
+// pivoting performs no allocations.
 //
 // # Warm-start contract
 //
@@ -29,8 +43,23 @@
 // as only new constraint rows are appended (AddSparse/AddDense) between
 // calls: the previous optimal basis remains dual feasible, and each new row
 // enters with its own basic slack. Changing the objective between re-solves
-// is also permitted (the final primal clean-up phase re-optimizes); adding
-// variables or changing bounds invalidates the basis and must start cold.
+// is also permitted (the final primal clean-up phase re-optimizes). A warm
+// re-solve falls back to a cold two-phase solve only when the caller passes
+// a nil Basis — which is also what callers must do after any solve that did
+// not end Optimal, since non-optimal solves return no Basis. Adding
+// variables or changing bounds invalidates the basis: ResolveFrom rejects
+// such calls loudly instead of silently solving against stale state, and
+// the caller re-solves cold.
+//
+// # Numerical safeguards
+//
+// Optimality is never certified against a stale reduced-cost row (a full
+// refresh precedes the claim), and dual infeasibility is never certified
+// from drifted state: before reporting it, the engine refactorizes the
+// basis inverse from scratch (Gauss-Jordan with partial pivoting), resyncs
+// every basic value, and re-tries. The dense predecessor lacked that
+// safeguard and mis-reported feasible masters as infeasible past
+// T ≈ 1000 slots.
 //
 // Go has no mature linear-programming library, so this package is built as
 // a first-class substrate: the active-time LP of the paper (Section 3) is
@@ -204,7 +233,7 @@ const (
 // re-solves via ResolveFrom. A Basis is tied to the Problem that produced
 // it and is consumed (mutated in place) by the next ResolveFrom call.
 type Basis struct {
-	t *tableau
+	t *revised
 }
 
 // Solve optimizes the problem with the float64 simplex engine from a cold
@@ -235,12 +264,15 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 			}
 		}
 	}
-	var t *tableau
+	var t *revised
 	var status Status
 	budget := maxPivots
 	if prev == nil || prev.t == nil {
-		t = newTableau(p)
+		t = newRevised(p)
 		status = t.runTwoPhase(&budget)
+		if status == Optimal {
+			status = t.verifyOptimal(p, &budget)
+		}
 	} else {
 		t = prev.t
 		if t.n != p.numVars {
@@ -263,9 +295,36 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 		t.pivotsAtCall = t.pivots
 		copy(t.cost[:t.n], p.c) // pick up objective changes since the snapshot
 		t.appendProblemRows(p)
+		// A warm repair of freshly appended rows needs tens of pivots; give
+		// it a budget proportional to the row count rather than the global
+		// ceiling, so a degenerate stall falls back to the (verified) cold
+		// solve quickly instead of grinding the dual for the full budget.
+		if wb := 4*len(p.rows) + 400; wb < budget {
+			budget = wb
+		}
 		status = t.dualIterate(&budget)
 		if status == Optimal {
 			status = t.primalIterate(false, &budget)
+		}
+		if status == Optimal {
+			status = t.verifyOptimal(p, &budget)
+		}
+		if status != Optimal {
+			// The warm path certifies only optima: a warm claim of
+			// infeasibility (or an exhausted pivot budget, or an optimum
+			// that failed verification) may be an artifact of the inherited
+			// basis, so it is re-derived by a cold two-phase solve of the
+			// full problem, whose phase-1 verdict is independent of any
+			// prior state. Iterations still reports every pivot spent in
+			// this call, warm and cold.
+			warmPivots := t.pivots - t.pivotsAtCall
+			t = newRevised(p)
+			budget = maxPivots
+			status = t.runTwoPhase(&budget)
+			if status == Optimal {
+				status = t.verifyOptimal(p, &budget)
+			}
+			t.pivotsAtCall = -warmPivots
 		}
 	}
 	sol := &Solution{Status: status, Iterations: t.pivots - t.pivotsAtCall}
@@ -281,697 +340,3 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 	return sol, &Basis{t: t}, nil
 }
 
-// tableau is the dense bounded-variable simplex working state for the float
-// engine. Unlike a textbook tableau it carries no transformed RHS column:
-// val holds the actual value of each row's basic variable and is updated
-// directly at every pivot and bound flip, which keeps the bookkeeping
-// correct when nonbasic variables rest at nonzero upper bounds.
-type tableau struct {
-	n         int // structural variables
-	rowsBuilt int // Problem rows incorporated (including presolved-away ones)
-	a         [][]float64
-	val       []float64 // value of the basic variable of each row
-	basis     []int
-	active    []bool // rows still in play (redundant rows get disabled)
-
-	cost      []float64 // phase-2 cost per column
-	upper     []float64 // per-column upper bound (+Inf where unbounded)
-	probUpper []float64 // the Problem's structural bounds as of construction
-	//                     (upper may be tighter after singleton presolve)
-	atUpper []bool // nonbasic column currently at its upper bound
-	isArt   []bool // artificial columns (barred outside phase 1)
-	inBasis []bool
-
-	curCost []float64 // cost vector of the current phase
-	red     []float64 // persistent reduced-cost row for curCost
-
-	pivots       int // lifetime pivot count
-	pivotsAtCall int // pivot count when the current ResolveFrom began
-	sinceRefresh int
-}
-
-// newTableau builds the initial tableau. Singleton "a*x_j <= b" rows with
-// a > 0, b >= 0 are presolved into the variable's upper bound (and vacuous
-// singleton <= rows dropped) rather than materialized, so box constraints
-// cost nothing regardless of how the caller expressed them.
-func newTableau(p *Problem) *tableau {
-	m, n := len(p.rows), p.numVars
-	bound := make([]float64, n)
-	if p.upper != nil {
-		copy(bound, p.upper)
-	} else {
-		for j := range bound {
-			bound[j] = math.Inf(1)
-		}
-	}
-	type rowKind struct {
-		rel  Relation
-		flip bool
-		skip bool
-	}
-	kinds := make([]rowKind, m)
-	nSlack, nArt, nRows := 0, 0, 0
-	for i := range p.rows {
-		rel, b := p.rel[i], p.b[i]
-		if rel == LE && b >= 0 {
-			if col, coef, single := singleton(p.rows[i]); single {
-				if coef > 0 {
-					if u := b / coef; u < bound[col] {
-						bound[col] = u
-					}
-				}
-				// coef <= 0 (or empty row): vacuous given x >= 0, b >= 0.
-				kinds[i].skip = true
-				continue
-			}
-		}
-		flip := b < 0
-		if flip {
-			switch rel {
-			case LE:
-				rel = GE
-			case GE:
-				rel = LE
-			}
-		}
-		kinds[i] = rowKind{rel: rel, flip: flip}
-		nRows++
-		switch rel {
-		case LE:
-			nSlack++
-		case GE:
-			nSlack++
-			nArt++
-		case EQ:
-			nArt++
-		}
-	}
-	nTotal := n + nSlack + nArt
-	colCap := nTotal + nTotal/4 + 16 // headroom for appended cut columns
-	t := &tableau{
-		n:         n,
-		rowsBuilt: m,
-		a:         make([][]float64, 0, nRows+16),
-		val:       make([]float64, 0, nRows+16),
-		basis:     make([]int, 0, nRows+16),
-		active:    make([]bool, 0, nRows+16),
-		cost:      make([]float64, nTotal, colCap),
-		upper:     make([]float64, nTotal, colCap),
-		atUpper:   make([]bool, nTotal, colCap),
-		isArt:     make([]bool, nTotal, colCap),
-		inBasis:   make([]bool, nTotal, colCap),
-		curCost:   make([]float64, nTotal, colCap),
-		red:       make([]float64, nTotal, colCap),
-	}
-	copy(t.cost, p.c)
-	copy(t.upper, bound)
-	for j := n; j < nTotal; j++ {
-		t.upper[j] = math.Inf(1)
-	}
-	t.probUpper = make([]float64, n)
-	if p.upper != nil {
-		copy(t.probUpper, p.upper)
-	} else {
-		for j := range t.probUpper {
-			t.probUpper[j] = math.Inf(1)
-		}
-	}
-	slack, art := n, n+nSlack
-	for i := range p.rows {
-		if kinds[i].skip {
-			continue
-		}
-		row := make([]float64, nTotal, colCap)
-		sign := 1.0
-		if kinds[i].flip {
-			sign = -1.0
-		}
-		for _, e := range p.rows[i] {
-			row[e.col] += sign * e.val
-		}
-		var bas int
-		switch kinds[i].rel {
-		case LE:
-			row[slack] = 1
-			bas = slack
-			slack++
-		case GE:
-			row[slack] = -1
-			slack++
-			row[art] = 1
-			t.isArt[art] = true
-			bas = art
-			art++
-		case EQ:
-			row[art] = 1
-			t.isArt[art] = true
-			bas = art
-			art++
-		}
-		t.a = append(t.a, row)
-		t.val = append(t.val, sign*p.b[i])
-		t.basis = append(t.basis, bas)
-		t.active = append(t.active, true)
-		t.inBasis[bas] = true
-	}
-	return t
-}
-
-// singleton reports whether the row references a single variable (after
-// summing duplicate columns and ignoring zero coefficients); col is -1 for
-// an empty row.
-func singleton(row []entry) (col int, coef float64, ok bool) {
-	col = -1
-	for _, e := range row {
-		if e.val == 0 {
-			continue
-		}
-		if col >= 0 && e.col != col {
-			return 0, 0, false
-		}
-		col = e.col
-		coef += e.val
-	}
-	return col, coef, true
-}
-
-// setPhaseCost loads the working cost vector: artificial costs for phase 1,
-// the problem objective for phase 2.
-func (t *tableau) setPhaseCost(phase1 bool) {
-	nTotal := len(t.cost)
-	t.curCost = t.curCost[:nTotal]
-	if phase1 {
-		for j := range t.curCost {
-			if t.isArt[j] {
-				t.curCost[j] = 1
-			} else {
-				t.curCost[j] = 0
-			}
-		}
-	} else {
-		copy(t.curCost, t.cost)
-	}
-}
-
-// refreshRed recomputes the reduced-cost row in place for curCost.
-func (t *tableau) refreshRed() {
-	t.red = t.red[:len(t.curCost)]
-	copy(t.red, t.curCost)
-	for i, arow := range t.a {
-		if !t.active[i] {
-			continue
-		}
-		cb := t.curCost[t.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		red := t.red
-		for j := range arow {
-			red[j] -= cb * arow[j]
-		}
-	}
-	t.sinceRefresh = 0
-}
-
-// pivotMatrix performs the elimination of a pivot on (row, col) over the
-// coefficient matrix and the persistent reduced-cost row. Values (t.val) and
-// basis bookkeeping are handled by the callers, which know the step length.
-func (t *tableau) pivotMatrix(row, col int) {
-	arow := t.a[row]
-	inv := 1 / arow[col]
-	for j := range arow {
-		arow[j] *= inv
-	}
-	arow[col] = 1 // fight rounding
-	for i, ai := range t.a {
-		if i == row || !t.active[i] {
-			continue
-		}
-		f := ai[col]
-		if f == 0 {
-			continue
-		}
-		for j := range ai {
-			ai[j] -= f * arow[j]
-		}
-		ai[col] = 0
-	}
-	if f := t.red[col]; f != 0 {
-		red := t.red
-		for j := range arow {
-			red[j] -= f * arow[j]
-		}
-		red[col] = 0
-	}
-	t.pivots++
-	t.sinceRefresh++
-}
-
-// stepAndPivot moves the entering column col by delta in direction dir
-// (+1 from its lower bound, -1 from its upper bound), updates all basic
-// values, and swaps it into the basis at row; the leaving variable settles
-// at its upper bound when toUpper is true, else at zero.
-func (t *tableau) stepAndPivot(row, col int, dir, delta float64, toUpper bool) {
-	if delta != 0 {
-		for i := range t.a {
-			if !t.active[i] || i == row {
-				continue
-			}
-			if w := t.a[i][col]; w != 0 {
-				t.val[i] -= dir * w * delta
-			}
-		}
-	}
-	enterVal := dir * delta
-	if t.atUpper[col] {
-		enterVal += t.upper[col]
-	}
-	leave := t.basis[row]
-	t.inBasis[leave] = false
-	t.atUpper[leave] = toUpper
-	t.pivotMatrix(row, col)
-	t.basis[row] = col
-	t.inBasis[col] = true
-	t.atUpper[col] = false
-	if enterVal < 0 && enterVal > -1e-7 {
-		enterVal = 0
-	}
-	t.val[row] = enterVal
-}
-
-// boundFlip moves nonbasic column col across its (finite) range to the
-// opposite bound without a basis change.
-func (t *tableau) boundFlip(col int, dir float64) {
-	if u := t.upper[col]; u > 0 {
-		for i := range t.a {
-			if !t.active[i] {
-				continue
-			}
-			if w := t.a[i][col]; w != 0 {
-				t.val[i] -= dir * w * u
-			}
-		}
-	}
-	t.atUpper[col] = !t.atUpper[col]
-}
-
-// primalIterate runs bounded-variable primal simplex iterations with the
-// current phase's cost vector until optimal, unbounded, or the pivot budget
-// is exhausted. Outside phase 1, artificial columns may not enter.
-func (t *tableau) primalIterate(phase1 bool, budget *int) Status {
-	t.setPhaseCost(phase1)
-	t.refreshRed()
-	blandFrom := *budget / 2 // switch to Bland's rule for the second half
-	for iter := 0; ; iter++ {
-		if *budget <= 0 {
-			return IterLimit
-		}
-		*budget--
-		if t.sinceRefresh >= refreshEvery {
-			t.refreshRed()
-		}
-		red := t.red
-		col := -1
-		if iter < blandFrom {
-			best := eps
-			for j := range red {
-				if t.inBasis[j] || (!phase1 && t.isArt[j]) {
-					continue
-				}
-				score := -red[j]
-				if t.atUpper[j] {
-					score = red[j]
-				}
-				if score > best {
-					best = score
-					col = j
-				}
-			}
-		} else {
-			for j := range red {
-				if t.inBasis[j] || (!phase1 && t.isArt[j]) {
-					continue
-				}
-				if t.atUpper[j] {
-					if red[j] > eps {
-						col = j
-						break
-					}
-				} else if red[j] < -eps {
-					col = j
-					break
-				}
-			}
-		}
-		if col < 0 {
-			// Never certify optimality against a stale reduced-cost row:
-			// refresh and re-price once if any pivots happened since the
-			// last full recompute (refreshRed zeroes sinceRefresh, so this
-			// retries at most once per pivot).
-			if t.sinceRefresh > 0 {
-				t.refreshRed()
-				continue
-			}
-			return Optimal
-		}
-		dir := 1.0
-		if t.atUpper[col] {
-			dir = -1.0
-		}
-		// Ratio test over basic bounds, capped by the entering variable's
-		// own range (a bound flip).
-		row := -1
-		toUpper := false
-		bestRatio := t.upper[col]
-		for i := range t.a {
-			if !t.active[i] {
-				continue
-			}
-			w := dir * t.a[i][col]
-			if w > eps {
-				ratio := t.val[i] / w
-				if ratio < 0 {
-					ratio = 0
-				}
-				if ratio < bestRatio-eps ||
-					(ratio < bestRatio+eps && row >= 0 && t.basis[i] < t.basis[row]) {
-					row, bestRatio, toUpper = i, ratio, false
-				}
-			} else if w < -eps {
-				ub := t.upper[t.basis[i]]
-				if math.IsInf(ub, 1) {
-					continue
-				}
-				ratio := (ub - t.val[i]) / -w
-				if ratio < 0 {
-					ratio = 0
-				}
-				if ratio < bestRatio-eps ||
-					(ratio < bestRatio+eps && row >= 0 && t.basis[i] < t.basis[row]) {
-					row, bestRatio, toUpper = i, ratio, true
-				}
-			}
-		}
-		if row < 0 {
-			if math.IsInf(bestRatio, 1) {
-				return Unbounded
-			}
-			t.boundFlip(col, dir)
-			continue
-		}
-		t.stepAndPivot(row, col, dir, bestRatio, toUpper)
-	}
-}
-
-// dualIterate restores primal feasibility (basic values pushed outside
-// their bounds by newly appended rows) while maintaining dual feasibility,
-// using the bounded-variable dual simplex. It assumes the tableau was
-// optimal before the rows were appended. A pivot may land the entering
-// variable beyond its own finite bound; that surfaces as a fresh
-// infeasibility repaired by a later iteration, which keeps each step's
-// algebra simple at the cost of occasionally one extra pivot. Like the
-// primal loop, it falls back from most-infeasible-row selection to
-// lowest-index selection for the second half of the pivot budget as an
-// anti-cycling safeguard on degenerate (delta = 0) sequences.
-func (t *tableau) dualIterate(budget *int) Status {
-	t.setPhaseCost(false)
-	t.refreshRed()
-	blandFrom := *budget / 2
-	for iter := 0; ; iter++ {
-		if *budget <= 0 {
-			return IterLimit
-		}
-		*budget--
-		if t.sinceRefresh >= refreshEvery {
-			t.refreshRed()
-		}
-		// Leaving: most infeasible basic variable (lowest-index infeasible
-		// once in the Bland regime).
-		row := -1
-		worst := 1e-7
-		above := false
-		for i := range t.a {
-			if !t.active[i] {
-				continue
-			}
-			v := t.val[i]
-			if -v > worst {
-				worst, row, above = -v, i, false
-				if iter >= blandFrom {
-					break
-				}
-			}
-			if ub := t.upper[t.basis[i]]; !math.IsInf(ub, 1) && v-ub > worst {
-				worst, row, above = v-ub, i, true
-				if iter >= blandFrom {
-					break
-				}
-			}
-		}
-		if row < 0 {
-			return Optimal
-		}
-		sign := 1.0
-		if above {
-			sign = -1.0
-		}
-		arow := t.a[row]
-		red := t.red
-		col := -1
-		var colDir float64
-		bestRatio := math.Inf(1)
-		// Entering: minimum dual ratio; ties resolve to the lowest index
-		// because only a strict improvement replaces the incumbent.
-		for j := range arow {
-			if t.inBasis[j] || t.isArt[j] {
-				continue
-			}
-			w := sign * arow[j]
-			if t.atUpper[j] {
-				if w > eps {
-					ratio := -red[j] / w
-					if ratio < 0 {
-						ratio = 0
-					}
-					if ratio < bestRatio-eps {
-						col, bestRatio, colDir = j, ratio, -1
-					}
-				}
-			} else if w < -eps {
-				ratio := red[j] / -w
-				if ratio < 0 {
-					ratio = 0
-				}
-				if ratio < bestRatio-eps {
-					col, bestRatio, colDir = j, ratio, 1
-				}
-			}
-		}
-		if col < 0 {
-			return Infeasible
-		}
-		target := 0.0
-		if above {
-			target = t.upper[t.basis[row]]
-		}
-		delta := (t.val[row] - target) / (colDir * arow[col])
-		if delta < 0 {
-			delta = 0
-		}
-		t.stepAndPivot(row, col, colDir, delta, above)
-	}
-}
-
-// runTwoPhase executes the cold two-phase solve.
-func (t *tableau) runTwoPhase(budget *int) Status {
-	hasArt := false
-	for j := range t.isArt {
-		if t.isArt[j] {
-			hasArt = true
-			break
-		}
-	}
-	if hasArt {
-		st := t.primalIterate(true, budget)
-		if st != Optimal {
-			return st
-		}
-		// Infeasible if any artificial remains basic at positive value.
-		var artSum float64
-		for i := range t.a {
-			if t.active[i] && t.isArt[t.basis[i]] {
-				artSum += t.val[i]
-			}
-		}
-		if artSum > 1e-7 {
-			return Infeasible
-		}
-		t.driveOutArtificials()
-	}
-	return t.primalIterate(false, budget)
-}
-
-// driveOutArtificials removes zero-valued artificials from the basis after
-// phase 1 via degenerate swaps (the point does not move: the entering
-// column keeps its current bound value); rows with no eligible entering
-// column are redundant and get deactivated.
-func (t *tableau) driveOutArtificials() {
-	for i := range t.a {
-		if !t.active[i] || !t.isArt[t.basis[i]] {
-			continue
-		}
-		pivoted := false
-		for j := range t.a[i] {
-			if t.isArt[j] || t.inBasis[j] {
-				continue
-			}
-			if w := t.a[i][j]; w > eps || w < -eps {
-				leave := t.basis[i]
-				t.inBasis[leave] = false
-				t.atUpper[leave] = false
-				enterVal := 0.0
-				if t.atUpper[j] {
-					enterVal = t.upper[j]
-				}
-				t.pivotMatrix(i, j)
-				t.basis[i] = j
-				t.inBasis[j] = true
-				t.atUpper[j] = false
-				t.val[i] = enterVal
-				pivoted = true
-				break
-			}
-		}
-		if !pivoted {
-			t.active[i] = false // redundant row
-		}
-	}
-}
-
-// growCols appends k fresh columns (zero coefficients everywhere, zero
-// cost, +Inf bound, nonbasic at lower) to the live tableau, reusing slice
-// capacity when available so repeated cut appends amortize.
-func (t *tableau) growCols(k int) {
-	old := len(t.cost)
-	nt := old + k
-	growF := func(s []float64, fill float64) []float64 {
-		if cap(s) < nt {
-			s2 := make([]float64, len(s), nt+nt/4+16)
-			copy(s2, s)
-			s = s2
-		}
-		s = s[:nt]
-		for j := old; j < nt; j++ {
-			s[j] = fill
-		}
-		return s
-	}
-	growB := func(s []bool) []bool {
-		if cap(s) < nt {
-			s2 := make([]bool, len(s), nt+nt/4+16)
-			copy(s2, s)
-			s = s2
-		}
-		s = s[:nt]
-		for j := old; j < nt; j++ {
-			s[j] = false
-		}
-		return s
-	}
-	for i := range t.a {
-		t.a[i] = growF(t.a[i], 0)
-	}
-	t.cost = growF(t.cost, 0)
-	t.upper = growF(t.upper, math.Inf(1))
-	t.curCost = growF(t.curCost, 0)
-	t.red = growF(t.red, 0)
-	t.atUpper = growB(t.atUpper)
-	t.isArt = growB(t.isArt)
-	t.inBasis = growB(t.inBasis)
-}
-
-// appendProblemRows incorporates rows added to the problem since the
-// tableau was last solved. Each row gets a fresh slack column that enters
-// the basis immediately: LE rows as a·x + s = b, GE rows negated so the
-// surplus keeps a +1 coefficient, EQ rows with a slack fixed to [0,0]. The
-// new basic values are computed from the current structural point, so a
-// violated cut simply surfaces as a bound-infeasible basic slack for the
-// dual simplex to repair.
-func (t *tableau) appendProblemRows(p *Problem) {
-	if t.rowsBuilt == len(p.rows) {
-		return
-	}
-	xs := t.structuralX()
-	for r := t.rowsBuilt; r < len(p.rows); r++ {
-		t.appendRow(p.rows[r], p.rel[r], p.b[r], xs)
-	}
-	t.rowsBuilt = len(p.rows)
-}
-
-func (t *tableau) appendRow(row []entry, rel Relation, b float64, xs []float64) {
-	s := len(t.cost) // the new slack column
-	t.growCols(1)
-	if rel == EQ {
-		t.upper[s] = 0
-	}
-	nt := len(t.cost)
-	dense := make([]float64, nt, nt+nt/4+16)
-	sign := 1.0
-	if rel == GE {
-		sign = -1.0
-	}
-	ax := 0.0
-	for _, e := range row {
-		dense[e.col] += sign * e.val
-		ax += e.val * xs[e.col]
-	}
-	dense[s] = 1
-	var sval float64
-	if rel == GE {
-		sval = ax - b
-	} else {
-		sval = b - ax
-	}
-	// Express the row in the current dictionary: eliminate basic columns.
-	for i, ai := range t.a {
-		if !t.active[i] {
-			continue
-		}
-		f := dense[t.basis[i]]
-		if f == 0 {
-			continue
-		}
-		for j := range ai {
-			dense[j] -= f * ai[j]
-		}
-		dense[t.basis[i]] = 0
-	}
-	dense[s] = 1 // untouched by elimination; restate against drift
-	t.a = append(t.a, dense)
-	t.val = append(t.val, sval)
-	t.basis = append(t.basis, s)
-	t.active = append(t.active, true)
-	t.inBasis[s] = true
-}
-
-// structuralX extracts the structural variable values from the basis and
-// bound states.
-func (t *tableau) structuralX() []float64 {
-	x := make([]float64, t.n)
-	for j := 0; j < t.n; j++ {
-		if t.atUpper[j] && !t.inBasis[j] {
-			x[j] = t.upper[j]
-		}
-	}
-	for i := range t.a {
-		if t.active[i] && t.basis[i] < t.n {
-			x[t.basis[i]] = t.val[i]
-		}
-	}
-	for j := range x {
-		if x[j] < 0 && x[j] > -1e-7 {
-			x[j] = 0
-		}
-	}
-	return x
-}

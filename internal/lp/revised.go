@@ -1,0 +1,1258 @@
+package lp
+
+import (
+	"math"
+	"slices"
+	"sort"
+)
+
+// revised is the sparse revised-simplex working state of the float engine.
+//
+// Unlike the dense tableau it replaced, the constraint matrix is never
+// transformed: rows are stored once in sign-normalized compressed sparse
+// form (plus a per-column view for FTRAN), and all pivoting state lives in
+// an explicit basis inverse binv updated in place at each basis change.
+// Logical columns (slacks, surpluses, artificials) are signed unit vectors
+// and are never materialized. As in the dense engine, xB holds the actual
+// value of each row's basic variable — not a transformed right-hand side —
+// which keeps the bookkeeping correct when nonbasic variables rest at
+// nonzero upper bounds.
+//
+// Per pivot the engine performs:
+//
+//   - an FTRAN (w = B⁻¹·A_q) against the entering column's sparse entries,
+//     O(m·nnz(A_q));
+//   - a pivot-row sweep alpha = rho·A over the sparse rows touching the
+//     leaving row's inverse row rho, accumulating into a touched-column
+//     list, O(Σ nnz of touched rows) — this is what prices cuts without
+//     ever scanning a dense row of length n;
+//   - a rank-one update of binv and the persistent reduced-cost row,
+//     O(m²) + O(|touched|), allocation-free in steady state.
+//
+// Numerical drift is controlled exactly as documented in the package
+// comment: the reduced-cost row is refreshed periodically and before any
+// optimality claim, and a conclusion of dual infeasibility is only accepted
+// after a full refactorization (binv rebuilt from the basis columns by
+// Gauss-Jordan elimination) plus a basic-value resync confirms it.
+type revised struct {
+	n         int // structural variables
+	m         int // materialized rows
+	rowsBuilt int // Problem rows incorporated (including presolved-away ones)
+
+	// Constraint matrix, sign-normalized per row (rows with negative rhs
+	// are flipped at build time; warm-appended GE rows are negated so their
+	// slack keeps a +1 coefficient).
+	rowCols [][]int32
+	rowVals [][]float64
+	rowLogs [][]int32 // logical columns belonging to each row (1 or 2)
+	rhs     []float64 // normalized right-hand sides
+	colRows [][]int32 // per structural column: rows with a nonzero entry
+	colVals [][]float64
+
+	logRow  []int32   // per logical column (index col-n): owning row
+	logSign []float64 // +1 slack/artificial, -1 surplus
+
+	binv  [][]float64 // dense m×m basis inverse, row-major
+	basis []int       // basic column of each row
+	xB    []float64   // value of the basic variable of each row
+
+	// Per-column state, structural columns first, then logical columns in
+	// materialization order.
+	cost       []float64
+	upper      []float64
+	atUpper    []bool
+	isArt      []bool
+	inBasis    []bool
+	whereBasic []int // basis row of the column, -1 when nonbasic
+
+	probUpper []float64 // the Problem's structural bounds as of construction
+	//                     (upper may be tighter after singleton presolve)
+
+	curCost []float64 // cost vector of the current phase
+	red     []float64 // persistent reduced-cost row for curCost
+
+	// Scratch reused across pivots so steady-state pivoting is
+	// allocation-free.
+	w       []float64 // FTRAN result, length m
+	rho     []float64 // pivot row of binv, length m
+	y       []float64 // dual scratch for refreshes, length m
+	flipAcc []float64 // row-space accumulator for batched bound flips, length m
+	alpha   []float64  // pivot row of the tableau, length ncols, kept zeroed
+	touched []int32    // columns with nonzero alpha this pivot
+	cands   []dualCand // dual ratio-test candidates, reused across pivots
+
+	pivots       int // lifetime pivot count
+	pivotsAtCall int // pivot count when the current ResolveFrom began
+	sinceRefresh int
+}
+
+// newRevised builds the initial state. Singleton "a*x_j <= b" rows with
+// a > 0, b >= 0 are presolved into the variable's upper bound (and vacuous
+// singleton <= rows dropped) rather than materialized, so box constraints
+// cost nothing regardless of how the caller expressed them.
+func newRevised(p *Problem) *revised {
+	m, n := len(p.rows), p.numVars
+	bound := make([]float64, n)
+	if p.upper != nil {
+		copy(bound, p.upper)
+	} else {
+		for j := range bound {
+			bound[j] = math.Inf(1)
+		}
+	}
+	type rowKind struct {
+		rel  Relation
+		flip bool
+		skip bool
+	}
+	kinds := make([]rowKind, m)
+	nRows, nLog := 0, 0
+	for i := range p.rows {
+		rel, b := p.rel[i], p.b[i]
+		if rel == LE && b >= 0 {
+			if col, coef, single := singleton(p.rows[i]); single {
+				if coef > 0 {
+					if u := b / coef; u < bound[col] {
+						bound[col] = u
+					}
+				}
+				// coef <= 0 (or empty row): vacuous given x >= 0, b >= 0.
+				kinds[i].skip = true
+				continue
+			}
+		}
+		flip := b < 0
+		if flip {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		kinds[i] = rowKind{rel: rel, flip: flip}
+		nRows++
+		switch rel {
+		case LE, EQ:
+			nLog++
+		case GE:
+			nLog += 2 // surplus + artificial
+		}
+	}
+	nTotal := n + nLog
+	colCap := nTotal + nTotal/4 + 16 // headroom for appended cut columns
+	rowCap := nRows + nRows/4 + 16
+	t := &revised{
+		n:          n,
+		rowsBuilt:  m,
+		rowCols:    make([][]int32, 0, rowCap),
+		rowVals:    make([][]float64, 0, rowCap),
+		rowLogs:    make([][]int32, 0, rowCap),
+		rhs:        make([]float64, 0, rowCap),
+		colRows:    make([][]int32, n),
+		colVals:    make([][]float64, n),
+		logRow:     make([]int32, 0, colCap-n),
+		logSign:    make([]float64, 0, colCap-n),
+		binv:       make([][]float64, 0, rowCap),
+		basis:      make([]int, 0, rowCap),
+		xB:         make([]float64, 0, rowCap),
+		cost:       make([]float64, nTotal, colCap),
+		upper:      make([]float64, nTotal, colCap),
+		atUpper:    make([]bool, nTotal, colCap),
+		isArt:      make([]bool, nTotal, colCap),
+		inBasis:    make([]bool, nTotal, colCap),
+		whereBasic: make([]int, nTotal, colCap),
+		curCost:    make([]float64, nTotal, colCap),
+		red:        make([]float64, nTotal, colCap),
+		alpha:      make([]float64, nTotal, colCap),
+		w:          make([]float64, nRows, rowCap),
+		rho:        make([]float64, nRows, rowCap),
+		y:          make([]float64, nRows, rowCap),
+		flipAcc:    make([]float64, nRows, rowCap),
+		touched:    make([]int32, 0, colCap),
+	}
+	copy(t.cost, p.c)
+	copy(t.upper, bound)
+	for j := n; j < nTotal; j++ {
+		t.upper[j] = math.Inf(1)
+	}
+	for j := range t.whereBasic {
+		t.whereBasic[j] = -1
+	}
+	t.probUpper = make([]float64, n)
+	if p.upper != nil {
+		copy(t.probUpper, p.upper)
+	} else {
+		for j := range t.probUpper {
+			t.probUpper[j] = math.Inf(1)
+		}
+	}
+	logCol := n
+	for i := range p.rows {
+		if kinds[i].skip {
+			continue
+		}
+		sign := 1.0
+		if kinds[i].flip {
+			sign = -1.0
+		}
+		cols, vals := normalizeEntries(p.rows[i], sign)
+		r := t.m
+		for k, c := range cols {
+			t.colRows[c] = append(t.colRows[c], int32(r))
+			t.colVals[c] = append(t.colVals[c], vals[k])
+		}
+		t.rowCols = append(t.rowCols, cols)
+		t.rowVals = append(t.rowVals, vals)
+		t.rhs = append(t.rhs, sign*p.b[i])
+		var logs []int32
+		var bas int
+		addLog := func(s float64, art bool) int {
+			c := logCol
+			logCol++
+			t.logRow = append(t.logRow, int32(r))
+			t.logSign = append(t.logSign, s)
+			t.isArt[c] = art
+			logs = append(logs, int32(c))
+			return c
+		}
+		switch kinds[i].rel {
+		case LE:
+			bas = addLog(1, false)
+		case GE:
+			addLog(-1, false)
+			bas = addLog(1, true)
+		case EQ:
+			bas = addLog(1, true)
+		}
+		t.rowLogs = append(t.rowLogs, logs)
+		row := make([]float64, r+1, rowCap)
+		row[r] = 1
+		// binv rows must all have length m; grow previous rows below once m
+		// is known, so build identity incrementally instead.
+		t.binv = append(t.binv, row)
+		t.basis = append(t.basis, bas)
+		t.xB = append(t.xB, sign*p.b[i])
+		t.inBasis[bas] = true
+		t.whereBasic[bas] = r
+		t.m++
+	}
+	// Square up the identity: every binv row gets length m.
+	for i := range t.binv {
+		row := t.binv[i]
+		for len(row) < t.m {
+			row = append(row, 0)
+		}
+		t.binv[i] = row
+	}
+	return t
+}
+
+// dualCand is one eligible entering column of the bounded dual ratio test.
+type dualCand struct {
+	col   int32
+	ratio float64
+}
+
+// pivTol is the minimum magnitude accepted for a dual pivot element.
+// Pivoting on elements near the eps noise floor multiplies the basis
+// inverse by huge factors and destroys it within a few iterations; the
+// verification loop in ResolveFrom would catch the damage, but refusing
+// such pivots keeps the inverse healthy in the first place.
+const pivTol = 1e-7
+
+// singleton reports whether the row references a single variable (after
+// summing duplicate columns and ignoring zero coefficients); col is -1 for
+// an empty row.
+func singleton(row []entry) (col int, coef float64, ok bool) {
+	col = -1
+	for _, e := range row {
+		if e.val == 0 {
+			continue
+		}
+		if col >= 0 && e.col != col {
+			return 0, 0, false
+		}
+		col = e.col
+		coef += e.val
+	}
+	return col, coef, true
+}
+
+// normalizeEntries returns the row's structural entries scaled by sign, with
+// duplicate columns summed and zero coefficients dropped, sorted by column.
+func normalizeEntries(row []entry, sign float64) ([]int32, []float64) {
+	cols := make([]int32, 0, len(row))
+	vals := make([]float64, 0, len(row))
+	sorted := true
+	for _, e := range row {
+		if e.val == 0 {
+			continue
+		}
+		if len(cols) > 0 && int32(e.col) <= cols[len(cols)-1] {
+			sorted = false
+		}
+		cols = append(cols, int32(e.col))
+		vals = append(vals, sign*e.val)
+	}
+	if !sorted && len(cols) > 1 {
+		order := make([]int, len(cols))
+		for k := range order {
+			order[k] = k
+		}
+		sort.Slice(order, func(a, b int) bool { return cols[order[a]] < cols[order[b]] })
+		oc := make([]int32, 0, len(cols))
+		ov := make([]float64, 0, len(vals))
+		for _, k := range order {
+			if len(oc) > 0 && oc[len(oc)-1] == cols[k] {
+				ov[len(ov)-1] += vals[k]
+			} else {
+				oc = append(oc, cols[k])
+				ov = append(ov, vals[k])
+			}
+		}
+		cols, vals = oc, ov
+	}
+	// Drop entries that cancelled to zero.
+	out := 0
+	for k := range cols {
+		if vals[k] != 0 {
+			cols[out], vals[out] = cols[k], vals[k]
+			out++
+		}
+	}
+	return cols[:out], vals[:out]
+}
+
+// setPhaseCost loads the working cost vector: artificial costs for phase 1,
+// the problem objective for phase 2.
+func (t *revised) setPhaseCost(phase1 bool) {
+	nTotal := len(t.cost)
+	t.curCost = t.curCost[:nTotal]
+	if phase1 {
+		for j := range t.curCost {
+			if t.isArt[j] {
+				t.curCost[j] = 1
+			} else {
+				t.curCost[j] = 0
+			}
+		}
+	} else {
+		copy(t.curCost, t.cost)
+	}
+}
+
+// refreshRed recomputes the basic values and the reduced-cost row from the
+// basis inverse: xB = B⁻¹(b − N·x_N), then the duals y = c_B·B⁻¹, then
+// red_j = c_j - y·A_j via one sweep over the sparse rows. Re-deriving xB
+// together with red keeps the incremental per-pivot updates from drifting
+// apart between refreshes.
+func (t *revised) refreshRed() {
+	t.refreshXB()
+	nTotal := len(t.curCost)
+	t.red = t.red[:nTotal]
+	copy(t.red, t.curCost)
+	y := t.y[:t.m]
+	for k := range y {
+		y[k] = 0
+	}
+	for i := 0; i < t.m; i++ {
+		cb := t.curCost[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		bi := t.binv[i]
+		for k := 0; k < t.m; k++ {
+			y[k] += cb * bi[k]
+		}
+	}
+	for i := 0; i < t.m; i++ {
+		yi := y[i]
+		if yi == 0 {
+			continue
+		}
+		cols, vals := t.rowCols[i], t.rowVals[i]
+		red := t.red
+		for k, c := range cols {
+			red[c] -= yi * vals[k]
+		}
+		for _, lc := range t.rowLogs[i] {
+			red[lc] -= yi * t.logSign[lc-int32(t.n)]
+		}
+	}
+	t.sinceRefresh = 0
+}
+
+// ftran computes w = B⁻¹·A_col into t.w using the column's sparse entries.
+func (t *revised) ftran(col int) {
+	w := t.w[:t.m]
+	if col < t.n {
+		rows, vals := t.colRows[col], t.colVals[col]
+		for i := 0; i < t.m; i++ {
+			bi := t.binv[i]
+			var s float64
+			for k, r := range rows {
+				s += bi[r] * vals[k]
+			}
+			w[i] = s
+		}
+		return
+	}
+	r, s := t.logRow[col-t.n], t.logSign[col-t.n]
+	for i := 0; i < t.m; i++ {
+		w[i] = t.binv[i][r] * s
+	}
+}
+
+// pivotRowAlpha accumulates alpha_j = rho·A_j for every column with a
+// nonzero result into t.alpha, recording them in t.touched. The sweep walks
+// only rows with a nonzero rho entry, so its cost is the sparse support of
+// the pivot row, never n. Callers must drain t.alpha back to zero (the
+// reduced-cost update in applyPivot does, as does clearAlpha).
+func (t *revised) pivotRowAlpha(rho []float64) {
+	t.touched = t.touched[:0]
+	alpha := t.alpha
+	for i := 0; i < t.m; i++ {
+		ri := rho[i]
+		if ri == 0 {
+			continue
+		}
+		cols, vals := t.rowCols[i], t.rowVals[i]
+		for k, c := range cols {
+			if alpha[c] == 0 {
+				t.touched = append(t.touched, c)
+			}
+			alpha[c] += ri * vals[k]
+		}
+		for _, lc := range t.rowLogs[i] {
+			if alpha[lc] == 0 {
+				t.touched = append(t.touched, lc)
+			}
+			alpha[lc] += ri * t.logSign[lc-int32(t.n)]
+		}
+	}
+}
+
+// clearAlpha zeroes the accumulator without applying it.
+func (t *revised) clearAlpha() {
+	for _, c := range t.touched {
+		t.alpha[c] = 0
+	}
+	t.touched = t.touched[:0]
+}
+
+// applyPivot performs the basis change on (row, col): the entering column
+// moves by delta in direction dir (+1 from its lower bound, -1 from its
+// upper bound), every basic value is stepped, binv receives its rank-one
+// update, the persistent reduced-cost row is updated from the pre-pivot
+// pivot row, and the leaving variable settles at its upper bound when
+// toUpper is true, else at zero.
+//
+// t.w must hold the FTRAN of the entering column. When alphaReady is true
+// the caller has already filled t.alpha/t.touched from binv[row] (the dual
+// path computes it for the ratio test); otherwise applyPivot computes it.
+// Either way the accumulator is drained before returning.
+func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alphaReady bool) {
+	w := t.w[:t.m]
+	if delta != 0 {
+		for i := range w {
+			if i == row {
+				continue
+			}
+			if wi := w[i]; wi != 0 {
+				t.xB[i] -= dir * wi * delta
+			}
+		}
+	}
+	enterVal := dir * delta
+	if t.atUpper[col] {
+		enterVal += t.upper[col]
+	}
+
+	if !alphaReady {
+		copy(t.rho[:t.m], t.binv[row])
+		t.pivotRowAlpha(t.rho[:t.m])
+	}
+	if f := t.red[col]; f != 0 {
+		scale := f / w[row]
+		red := t.red
+		for _, c := range t.touched {
+			a := t.alpha[c]
+			t.alpha[c] = 0
+			red[c] -= scale * a
+		}
+		t.touched = t.touched[:0]
+		red[col] = 0
+	} else {
+		t.clearAlpha()
+	}
+
+	// Rank-one update of the inverse.
+	pr := t.binv[row]
+	inv := 1 / w[row]
+	for k := 0; k < t.m; k++ {
+		pr[k] *= inv
+	}
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := w[i]
+		if f == 0 {
+			continue
+		}
+		bi := t.binv[i]
+		for k := 0; k < t.m; k++ {
+			bi[k] -= f * pr[k]
+		}
+	}
+
+	leave := t.basis[row]
+	t.inBasis[leave] = false
+	t.whereBasic[leave] = -1
+	t.atUpper[leave] = toUpper
+	t.basis[row] = col
+	t.inBasis[col] = true
+	t.whereBasic[col] = row
+	t.atUpper[col] = false
+	if enterVal < 0 && enterVal > -1e-7 {
+		enterVal = 0
+	}
+	t.xB[row] = enterVal
+	t.pivots++
+	t.sinceRefresh++
+}
+
+// accumulateFlip records a bound flip of column col (moving by u in
+// direction dir) in the row-space accumulator; applyFlips folds every
+// recorded flip into the basic values with a single B⁻¹ application.
+func (t *revised) accumulateFlip(col int, dir, u float64) {
+	d := dir * u
+	if col < t.n {
+		rows, vals := t.colRows[col], t.colVals[col]
+		for k, r := range rows {
+			t.flipAcc[r] += d * vals[k]
+		}
+		return
+	}
+	t.flipAcc[t.logRow[col-t.n]] += d * t.logSign[col-t.n]
+}
+
+// applyFlips applies xB -= B⁻¹·flipAcc and clears the accumulator.
+func (t *revised) applyFlips() {
+	acc := t.flipAcc[:t.m]
+	for i := 0; i < t.m; i++ {
+		bi := t.binv[i]
+		var s float64
+		for k, a := range acc {
+			if a != 0 {
+				s += bi[k] * a
+			}
+		}
+		t.xB[i] -= s
+	}
+	for k := range acc {
+		acc[k] = 0
+	}
+}
+
+// boundFlip moves nonbasic column col across its (finite) range to the
+// opposite bound without a basis change. t.w must hold the column's FTRAN.
+func (t *revised) boundFlip(col int, dir float64) {
+	if u := t.upper[col]; u > 0 {
+		w := t.w[:t.m]
+		for i := range w {
+			if wi := w[i]; wi != 0 {
+				t.xB[i] -= dir * wi * u
+			}
+		}
+	}
+	t.atUpper[col] = !t.atUpper[col]
+}
+
+// primalIterate runs bounded-variable primal simplex iterations with the
+// current phase's cost vector until optimal, unbounded, or the pivot budget
+// is exhausted. Outside phase 1, artificial columns may not enter.
+func (t *revised) primalIterate(phase1 bool, budget *int) Status {
+	t.setPhaseCost(phase1)
+	t.refreshRed()
+	blandFrom := *budget / 2 // switch to Bland's rule for the second half
+	for iter := 0; ; iter++ {
+		if *budget <= 0 {
+			return IterLimit
+		}
+		*budget--
+		if t.sinceRefresh >= refreshEvery {
+			t.refreshRed()
+		}
+		red := t.red
+		col := -1
+		if iter < blandFrom {
+			best := eps
+			for j := range red {
+				if t.inBasis[j] || (!phase1 && t.isArt[j]) {
+					continue
+				}
+				score := -red[j]
+				if t.atUpper[j] {
+					score = red[j]
+				}
+				if score > best {
+					best = score
+					col = j
+				}
+			}
+		} else {
+			for j := range red {
+				if t.inBasis[j] || (!phase1 && t.isArt[j]) {
+					continue
+				}
+				if t.atUpper[j] {
+					if red[j] > eps {
+						col = j
+						break
+					}
+				} else if red[j] < -eps {
+					col = j
+					break
+				}
+			}
+		}
+		if col < 0 {
+			// Never certify optimality against a stale reduced-cost row:
+			// refresh and re-price once if any pivots happened since the
+			// last full recompute (refreshRed zeroes sinceRefresh, so this
+			// retries at most once per pivot).
+			if t.sinceRefresh > 0 {
+				t.refreshRed()
+				continue
+			}
+			return Optimal
+		}
+		dir := 1.0
+		if t.atUpper[col] {
+			dir = -1.0
+		}
+		t.ftran(col)
+		w := t.w[:t.m]
+		// Ratio test over basic bounds, capped by the entering variable's
+		// own range (a bound flip).
+		row := -1
+		toUpper := false
+		bestRatio := t.upper[col]
+		for i := range w {
+			wi := dir * w[i]
+			if wi > eps {
+				ratio := t.xB[i] / wi
+				if ratio < 0 {
+					ratio = 0
+				}
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && row >= 0 && t.basis[i] < t.basis[row]) {
+					row, bestRatio, toUpper = i, ratio, false
+				}
+			} else if wi < -eps {
+				ub := t.upper[t.basis[i]]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				ratio := (ub - t.xB[i]) / -wi
+				if ratio < 0 {
+					ratio = 0
+				}
+				if ratio < bestRatio-eps ||
+					(ratio < bestRatio+eps && row >= 0 && t.basis[i] < t.basis[row]) {
+					row, bestRatio, toUpper = i, ratio, true
+				}
+			}
+		}
+		if row < 0 {
+			if math.IsInf(bestRatio, 1) {
+				return Unbounded
+			}
+			t.boundFlip(col, dir)
+			continue
+		}
+		t.applyPivot(row, col, dir, bestRatio, toUpper, false)
+	}
+}
+
+// dualIterate restores primal feasibility (basic values pushed outside
+// their bounds by newly appended rows) while maintaining dual feasibility,
+// using the bounded-variable dual simplex. It assumes the state was optimal
+// before the rows were appended. A pivot may land the entering variable
+// beyond its own finite bound; that surfaces as a fresh infeasibility
+// repaired by a later iteration. Like the primal loop, it falls back from
+// most-infeasible-row selection to lowest-index selection for the second
+// half of the pivot budget as an anti-cycling safeguard.
+//
+// A conclusion of Infeasible is never accepted from drifted state: the
+// engine refactorizes the basis inverse, resyncs basic values and reduced
+// costs, and re-tries once before reporting it.
+func (t *revised) dualIterate(budget *int) Status {
+	t.setPhaseCost(false)
+	t.refreshRed()
+	blandFrom := *budget / 2
+	resynced := false
+	for iter := 0; ; iter++ {
+		if *budget <= 0 {
+			return IterLimit
+		}
+		*budget--
+		if t.sinceRefresh >= refreshEvery {
+			t.refreshRed()
+		}
+		// Leaving: most infeasible basic variable (lowest-index infeasible
+		// once in the Bland regime).
+		row := -1
+		worst := 1e-7
+		above := false
+		for i := 0; i < t.m; i++ {
+			v := t.xB[i]
+			if -v > worst {
+				worst, row, above = -v, i, false
+				if iter >= blandFrom {
+					break
+				}
+			}
+			if ub := t.upper[t.basis[i]]; !math.IsInf(ub, 1) && v-ub > worst {
+				worst, row, above = v-ub, i, true
+				if iter >= blandFrom {
+					break
+				}
+			}
+		}
+		if row < 0 {
+			return Optimal
+		}
+		sign := 1.0
+		if above {
+			sign = -1.0
+		}
+		copy(t.rho[:t.m], t.binv[row])
+		t.pivotRowAlpha(t.rho[:t.m])
+		// Entering: bounded dual ratio test with bound flips. Candidates
+		// are visited in increasing dual-ratio order (ties by column index,
+		// for determinism and Bland-style safety); a candidate whose own
+		// finite range cannot absorb the remaining violation is flipped
+		// across its bounds — no basis change, its dual price has crossed
+		// its ratio so the opposite bound is the dual-feasible one — and
+		// the first candidate that can absorb the rest becomes the pivot.
+		// Without the flips, an entering variable overrunning its bound
+		// lands infeasible, leaves again next iteration, and the pair
+		// ping-pongs for the rest of the budget on degenerate covering
+		// masters.
+		red := t.red
+		cands := t.cands[:0]
+		for _, j32 := range t.touched {
+			j := int(j32)
+			if t.inBasis[j] || t.isArt[j] {
+				continue
+			}
+			a := sign * t.alpha[j]
+			var ratio float64
+			if t.atUpper[j] {
+				if a <= pivTol {
+					continue
+				}
+				ratio = -red[j] / a
+			} else {
+				if a >= -pivTol {
+					continue
+				}
+				ratio = red[j] / -a
+			}
+			if ratio < 0 {
+				ratio = 0
+			}
+			cands = append(cands, dualCand{col: int32(j), ratio: ratio})
+		}
+		t.cands = cands
+		slices.SortFunc(cands, func(a, b dualCand) int {
+			switch {
+			case a.ratio < b.ratio:
+				return -1
+			case a.ratio > b.ratio:
+				return 1
+			default:
+				return int(a.col) - int(b.col)
+			}
+		})
+		target := 0.0
+		if above {
+			target = t.upper[t.basis[row]]
+		}
+		col := -1
+		var colDir float64
+		flips := 0
+		xrow := t.xB[row] // tracked analytically across flips via alpha
+		for _, cd := range cands {
+			j := int(cd.col)
+			// Re-check eligibility against live bound state: t.touched can
+			// list a column twice (its alpha cancelled to zero mid-sweep and
+			// was re-added), and a candidate flipped earlier in this walk
+			// must not be processed again — its reversed direction would
+			// produce a degenerate pivot that snaps the still-violated
+			// leaving variable to its bound without the compensating step.
+			a := sign * t.alpha[j]
+			var dir float64
+			if t.atUpper[j] {
+				if a <= pivTol {
+					continue
+				}
+				dir = -1.0
+			} else {
+				if a >= -pivTol {
+					continue
+				}
+				dir = 1.0
+			}
+			// Step the entering variable would need for a full repair; its
+			// alpha is unchanged by earlier flips, only xB[row] moves.
+			need := (xrow - target) / (dir * t.alpha[j])
+			if u := t.upper[j]; u > 0 && !math.IsInf(u, 1) && need > u {
+				// Flip: record the bound change and its row-space effect;
+				// the combined basic-value update is applied once after the
+				// walk, so a walk of k flips costs O(Σ nnz(A_j)) + one
+				// O(m²) pass instead of k FTRANs.
+				t.accumulateFlip(j, dir, u)
+				t.atUpper[j] = !t.atUpper[j]
+				xrow -= dir * u * t.alpha[j]
+				flips++
+				continue
+			}
+			col, colDir = j, dir
+			break
+		}
+		if flips > 0 {
+			t.applyFlips()
+		}
+		if col < 0 {
+			t.clearAlpha()
+			// Rebuild the inverse and resync before believing drifted state;
+			// the retry re-enters the loop with clean numbers.
+			if !resynced && t.resync() {
+				resynced = true
+				continue
+			}
+			return Infeasible
+		}
+		delta := (t.xB[row] - target) / (colDir * t.alpha[col])
+		if delta < 0 {
+			delta = 0
+		}
+		t.ftran(col)
+		t.applyPivot(row, col, colDir, delta, above, true)
+	}
+}
+
+// runTwoPhase executes the cold two-phase solve.
+func (t *revised) runTwoPhase(budget *int) Status {
+	hasArt := false
+	for j := range t.isArt {
+		if t.isArt[j] {
+			hasArt = true
+			break
+		}
+	}
+	if hasArt {
+		st := t.primalIterate(true, budget)
+		if st != Optimal {
+			return st
+		}
+		// Infeasible if any artificial remains basic at positive value.
+		var artSum float64
+		for i := 0; i < t.m; i++ {
+			if t.isArt[t.basis[i]] {
+				artSum += t.xB[i]
+			}
+		}
+		if artSum > 1e-7 {
+			return Infeasible
+		}
+		t.driveOutArtificials()
+	}
+	return t.primalIterate(false, budget)
+}
+
+// driveOutArtificials removes zero-valued artificials from the basis after
+// phase 1 via degenerate swaps (the point does not move: the entering
+// column keeps its current bound value). A row with no eligible entering
+// column is linearly dependent on the others; its artificial stays basic
+// with its bound pinned to [0,0], which keeps the basis square while
+// enforcing the redundant constraint exactly.
+func (t *revised) driveOutArtificials() {
+	for i := 0; i < t.m; i++ {
+		if !t.isArt[t.basis[i]] {
+			continue
+		}
+		copy(t.rho[:t.m], t.binv[i])
+		t.pivotRowAlpha(t.rho[:t.m])
+		slices.Sort(t.touched)
+		col := -1
+		for _, j32 := range t.touched {
+			j := int(j32)
+			if t.isArt[j] || t.inBasis[j] {
+				continue
+			}
+			if a := t.alpha[j]; a > eps || a < -eps {
+				col = j
+				break
+			}
+		}
+		if col < 0 {
+			t.clearAlpha()
+			t.upper[t.basis[i]] = 0 // redundant row
+			continue
+		}
+		t.ftran(col)
+		t.applyPivot(i, col, 1, 0, false, true)
+	}
+}
+
+// resync rebuilds binv from the basis columns by Gauss-Jordan elimination
+// with partial pivoting, then recomputes every basic value and the
+// reduced-cost row from the fresh inverse. It reports false when the basis
+// matrix is numerically singular (the caller then has to trust the drifted
+// state). It allocates; it runs only on the rare
+// about-to-declare-infeasible path, never per pivot.
+func (t *revised) resync() bool {
+	m := t.m
+	// Dense B: column k is the constraint column of basis[k].
+	b := make([][]float64, m)
+	inv := make([][]float64, m)
+	for i := range b {
+		b[i] = make([]float64, m)
+		inv[i] = make([]float64, m)
+		inv[i][i] = 1
+	}
+	for k := 0; k < m; k++ {
+		col := t.basis[k]
+		if col < t.n {
+			rows, vals := t.colRows[col], t.colVals[col]
+			for q, r := range rows {
+				b[r][k] = vals[q]
+			}
+		} else {
+			b[t.logRow[col-t.n]][k] = t.logSign[col-t.n]
+		}
+	}
+	for k := 0; k < m; k++ {
+		piv, best := -1, 1e-11
+		for i := k; i < m; i++ {
+			if a := math.Abs(b[i][k]); a > best {
+				piv, best = i, a
+			}
+		}
+		if piv < 0 {
+			return false
+		}
+		b[k], b[piv] = b[piv], b[k]
+		inv[k], inv[piv] = inv[piv], inv[k]
+		f := 1 / b[k][k]
+		for j := 0; j < m; j++ {
+			b[k][j] *= f
+			inv[k][j] *= f
+		}
+		for i := 0; i < m; i++ {
+			if i == k {
+				continue
+			}
+			g := b[i][k]
+			if g == 0 {
+				continue
+			}
+			for j := 0; j < m; j++ {
+				b[i][j] -= g * b[k][j]
+				inv[i][j] -= g * inv[k][j]
+			}
+		}
+	}
+	// inv now maps row space to basis coordinates: B·X = I row-wise, i.e.
+	// X = B⁻¹ — exactly the shape binv stores (row i of binv is the i-th
+	// basis coordinate functional).
+	for i := 0; i < m; i++ {
+		copy(t.binv[i][:m], inv[i])
+	}
+	t.refreshRed() // also re-derives xB from the fresh inverse
+	return true
+}
+
+// verifyOptimal confirms a claimed optimum against the problem data itself:
+// the structural point must satisfy every constraint row of p within an
+// absolute 1e-6 and every basic value its bounds. The check is ground
+// truth — it reads the caller's rows, not any engine state derived from
+// the (possibly drifted) inverse. On violation the engine refactorizes the
+// basis, resyncs, and re-optimizes, a bounded number of times; persistent
+// failure is reported as IterLimit so no caller ever consumes an
+// infeasible "optimum" (the warm path then falls back to a cold solve).
+func (t *revised) verifyOptimal(p *Problem, budget *int) Status {
+	for tries := 0; ; tries++ {
+		if t.consistent(p, 1e-6) {
+			return Optimal
+		}
+		if tries == 2 || !t.resync() {
+			return IterLimit
+		}
+		st := t.dualIterate(budget)
+		if st == Optimal {
+			st = t.primalIterate(false, budget)
+		}
+		if st != Optimal {
+			return st
+		}
+	}
+}
+
+// consistent reports whether the current point satisfies the problem's
+// rows and the basic variables their bounds, all within tol.
+func (t *revised) consistent(p *Problem, tol float64) bool {
+	for i := 0; i < t.m; i++ {
+		v := t.xB[i]
+		if v < -tol {
+			return false
+		}
+		if ub := t.upper[t.basis[i]]; v > ub+tol {
+			return false
+		}
+	}
+	x := t.structuralX()
+	for i, row := range p.rows {
+		ax := 0.0
+		for _, e := range row {
+			ax += e.val * x[e.col]
+		}
+		switch p.rel[i] {
+		case LE:
+			if ax > p.b[i]+tol {
+				return false
+			}
+		case GE:
+			if ax < p.b[i]-tol {
+				return false
+			}
+		case EQ:
+			if math.Abs(ax-p.b[i]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// refreshXB recomputes every basic value from the inverse:
+// x_B = B⁻¹·(rhs − Σ_{j nonbasic at upper} A_j·u_j).
+func (t *revised) refreshXB() {
+	m := t.m
+	r := t.y[:m] // scratch; refreshRed reloads it before use
+	copy(r, t.rhs)
+	for j, up := range t.atUpper {
+		if !up || t.inBasis[j] {
+			continue
+		}
+		u := t.upper[j]
+		if u == 0 {
+			continue
+		}
+		if j < t.n {
+			rows, vals := t.colRows[j], t.colVals[j]
+			for k, ri := range rows {
+				r[ri] -= vals[k] * u
+			}
+		} else {
+			r[t.logRow[j-t.n]] -= t.logSign[j-t.n] * u
+		}
+	}
+	for i := 0; i < m; i++ {
+		bi := t.binv[i]
+		var s float64
+		for k := 0; k < m; k++ {
+			s += bi[k] * r[k]
+		}
+		if s < 0 && s > -1e-9 {
+			s = 0
+		}
+		t.xB[i] = s
+	}
+}
+
+// growCols appends k fresh logical column slots (zero cost, +Inf bound,
+// nonbasic at lower) to the per-column state, reusing slice capacity when
+// available so repeated cut appends amortize.
+func (t *revised) growCols(k int) {
+	old := len(t.cost)
+	nt := old + k
+	growF := func(s []float64, fill float64) []float64 {
+		if cap(s) < nt {
+			s2 := make([]float64, len(s), nt+nt/4+16)
+			copy(s2, s)
+			s = s2
+		}
+		s = s[:nt]
+		for j := old; j < nt; j++ {
+			s[j] = fill
+		}
+		return s
+	}
+	growB := func(s []bool) []bool {
+		if cap(s) < nt {
+			s2 := make([]bool, len(s), nt+nt/4+16)
+			copy(s2, s)
+			s = s2
+		}
+		s = s[:nt]
+		for j := old; j < nt; j++ {
+			s[j] = false
+		}
+		return s
+	}
+	t.cost = growF(t.cost, 0)
+	t.upper = growF(t.upper, math.Inf(1))
+	t.curCost = growF(t.curCost, 0)
+	t.red = growF(t.red, 0)
+	t.alpha = growF(t.alpha, 0)
+	t.atUpper = growB(t.atUpper)
+	t.isArt = growB(t.isArt)
+	t.inBasis = growB(t.inBasis)
+	if cap(t.whereBasic) < nt {
+		s2 := make([]int, len(t.whereBasic), nt+nt/4+16)
+		copy(s2, t.whereBasic)
+		t.whereBasic = s2
+	}
+	t.whereBasic = t.whereBasic[:nt]
+	for j := old; j < nt; j++ {
+		t.whereBasic[j] = -1
+	}
+}
+
+// growRows makes room for one more row: every binv row gets one more
+// (zero) column and the row-sized scratch vectors are extended.
+func (t *revised) growRows() {
+	nm := t.m + 1
+	for i := range t.binv {
+		row := t.binv[i]
+		if cap(row) < nm {
+			r2 := make([]float64, len(row), nm+nm/4+16)
+			copy(r2, row)
+			row = r2
+		}
+		row = row[:nm]
+		row[nm-1] = 0
+		t.binv[i] = row
+	}
+	growF := func(s []float64) []float64 {
+		if cap(s) < nm {
+			s2 := make([]float64, len(s), nm+nm/4+16)
+			copy(s2, s)
+			s = s2
+		}
+		return s[:nm]
+	}
+	t.w = growF(t.w)
+	t.rho = growF(t.rho)
+	t.y = growF(t.y)
+	t.flipAcc = growF(t.flipAcc)
+}
+
+// appendProblemRows incorporates rows added to the problem since the state
+// was last solved. Each row gets a fresh slack column that enters the basis
+// immediately, with its value computed from the current structural point,
+// so a violated cut simply surfaces as a bound-infeasible basic slack for
+// the dual simplex to repair. Unlike the dense engine, appended rows are
+// stored verbatim — the basis inverse is extended by one bordered row
+// instead of eliminating the new row against the dictionary, so appends
+// introduce no compounding transformation error.
+func (t *revised) appendProblemRows(p *Problem) {
+	if t.rowsBuilt == len(p.rows) {
+		return
+	}
+	xs := t.structuralX()
+	for r := t.rowsBuilt; r < len(p.rows); r++ {
+		t.appendRow(p.rows[r], p.rel[r], p.b[r], xs)
+	}
+	t.rowsBuilt = len(p.rows)
+}
+
+func (t *revised) appendRow(row []entry, rel Relation, b float64, xs []float64) {
+	sign := 1.0
+	if rel == GE {
+		sign = -1.0 // negate so the slack keeps a +1 coefficient
+	}
+	cols, vals := normalizeEntries(row, sign)
+	i := t.m
+	s := len(t.cost)
+	t.growCols(1)
+	t.logRow = append(t.logRow, int32(i))
+	t.logSign = append(t.logSign, 1)
+	if rel == EQ {
+		t.upper[s] = 0
+	}
+	t.rowCols = append(t.rowCols, cols)
+	t.rowVals = append(t.rowVals, vals)
+	t.rowLogs = append(t.rowLogs, []int32{int32(s)})
+	t.rhs = append(t.rhs, sign*b)
+	for k, c := range cols {
+		// Grow column slices with explicit headroom: repeated cut appends
+		// touch the same columns round after round, and Go's small-slice
+		// doubling would reallocate on nearly every early append.
+		if len(t.colRows[c]) == cap(t.colRows[c]) {
+			nc := make([]int32, len(t.colRows[c]), 2*cap(t.colRows[c])+8)
+			copy(nc, t.colRows[c])
+			t.colRows[c] = nc
+			nv := make([]float64, len(t.colVals[c]), cap(nc))
+			copy(nv, t.colVals[c])
+			t.colVals[c] = nv
+		}
+		t.colRows[c] = append(t.colRows[c], int32(i))
+		t.colVals[c] = append(t.colVals[c], vals[k])
+	}
+	// Bordered extension of the inverse: the new basis is
+	// [[B, 0], [a_B, 1]], whose inverse is [[B⁻¹, 0], [−a_B·B⁻¹, 1]],
+	// where a_B holds the new row's coefficients on the current basic
+	// columns (structural only — the row references no other row's
+	// logicals).
+	t.growRows()
+	newRow := make([]float64, i+1, i+1+i/4+16)
+	for k, c := range cols {
+		if r := t.whereBasic[int(c)]; r >= 0 {
+			f := vals[k]
+			br := t.binv[r]
+			for q := 0; q < i; q++ {
+				newRow[q] -= f * br[q]
+			}
+		}
+	}
+	newRow[i] = 1
+	t.binv = append(t.binv, newRow)
+	ax := 0.0
+	for k, c := range cols {
+		ax += vals[k] * xs[c]
+	}
+	t.xB = append(t.xB, sign*b-ax)
+	t.basis = append(t.basis, s)
+	t.inBasis[s] = true
+	t.whereBasic[s] = i
+	t.m++
+}
+
+// structuralX extracts the structural variable values from the basis and
+// bound states.
+func (t *revised) structuralX() []float64 {
+	x := make([]float64, t.n)
+	for j := 0; j < t.n; j++ {
+		if t.atUpper[j] && !t.inBasis[j] {
+			x[j] = t.upper[j]
+		}
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < t.n {
+			x[t.basis[i]] = t.xB[i]
+		}
+	}
+	for j := range x {
+		if x[j] < 0 && x[j] > -1e-7 {
+			x[j] = 0
+		}
+	}
+	return x
+}
