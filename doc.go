@@ -13,23 +13,34 @@
 // regenerates each figure-level claim. See DESIGN.md for the inventory and
 // EXPERIMENTS.md for the paper-vs-measured record.
 //
-// The Section-3 solve pipeline is fully incremental and scales to large
-// horizons: the simplex engine (internal/lp) is a sparse revised simplex —
-// constraint rows in compressed sparse form, an explicit basis inverse,
-// native variable upper bounds, and warm-started re-solves from the
-// previous optimal basis (Problem.ResolveFrom, bounded dual simplex with
-// batched bound flips over newly appended cuts; a warm claim of anything
-// but a verified optimum falls back to a cold solve). The max-flow
-// substrate (internal/flow) supports Reset/SetCapacity so separation and
-// feasibility networks are built once and only re-capacitated between
-// queries. The Benders cut generation in internal/activetime rides both
-// and batches separation: each round's single max-flow probe yields the
-// global minimum cut plus per-deficient-job Hall violators (deduplicated
-// against the master), which is what carries LP1 past T ≈ 1000 slots —
-// the dense single-cut pipeline failed outright there. One solver state,
-// one separation network, and one feasibility checker per call are reused
+// The Section-3 solve pipeline is fully incremental and scales to very
+// large horizons: the simplex engine (internal/lp) is a sparse revised
+// simplex whose basis lives in a factorized representation — a sparse LU
+// (Markowitz-style ordering, threshold partial pivoting) plus a
+// product-form eta file, with FTRAN/BTRAN solves in place of every inverse
+// product, periodic refactorization, native variable upper bounds,
+// warm-started re-solves from the previous optimal basis
+// (Problem.ResolveFrom, bounded dual simplex with Harris-style tie-broken
+// bound flips over newly appended cuts), and in-place removal of slack
+// rows (Problem.RemoveRows). A warm claim of anything but a verified
+// optimum falls back to a cold solve, and the exact rational engine
+// warm-starts the same way (ResolveExactFrom). The max-flow substrate
+// (internal/flow) supports Reset/SetCapacity so separation and feasibility
+// networks are built once and only re-capacitated between queries. The
+// Benders cut generation in internal/activetime rides both: each round's
+// single max-flow probe yields the global minimum cut plus
+// per-deficient-job Hall violators, the per-round cut cap adapts to the
+// horizon (single-cut at tiny T, 32 at T >= 4096), and a cut registry
+// tracks age and slack per cut — by complementary slackness, slack
+// tracking is dual-activity tracking — purging persistently slack rows
+// from the live master between rounds. The dense-inverse predecessor
+// needed ~90 s for the T = 4096 scaling family and could not reach
+// T = 16384 at all; the factorized pipeline solves the former in seconds
+// and carries the latter horizon at reduced job density (the pricing
+// sweep is the next wall — see ROADMAP). One solver state, one
+// separation network, and one feasibility checker per call are reused
 // across every cut round, every rounding repair probe, and every exact
 // branch-and-bound node. See the package comments of internal/lp and
-// internal/flow for the exact warm-start and reuse contracts, and
-// experiment E17 for the measured scaling record.
+// internal/flow for the exact warm-start, removal and reuse contracts, and
+// experiments E17/E18 for the measured scaling records.
 package repro

@@ -21,6 +21,11 @@ type LPResult struct {
 	// master solves; Pivots the total simplex pivots across all master
 	// solves (cold plus warm), the solver-effort figure experiments report.
 	Cuts, Rounds, Pivots int
+	// Purged counts cuts removed by the registry's lifecycle management
+	// (persistently slack rows excised from the live master); Refactors
+	// the basis refactorizations across all master solves. Both are zero
+	// for pipelines that disable the corresponding machinery.
+	Purged, Refactors int
 }
 
 // newMaster builds the Benders master over the y variables: unit objective,
@@ -77,21 +82,47 @@ func newMaster(in *core.Instance) (*lp.Problem, error) {
 // (no constraint rows), each master re-solve warm-starts from the previous
 // optimal basis via lp.Problem.ResolveFrom (dual simplex on the appended
 // cuts), and the separation network is built once and only re-capacitated
-// on its y-dependent edges each round.
+// on its y-dependent edges each round. Two lifecycle policies ride on top:
+// the per-round cut cap adapts to the horizon (single-cut at tiny T, the
+// full batch of 32 at T >= 4096 — see adaptiveBatchCap), and a cut
+// registry purges persistently slack cuts from the live master between
+// rounds (see cutRegistry), which keeps the row count — the axis per-pivot
+// cost scales on — near the working set the optimum actually binds.
 func SolveLP(in *core.Instance) (*LPResult, error) {
-	return solveLP(in, true)
+	return solveLP(in, lpOptions{batchCap: 0, purge: true})
 }
 
 // SolveLPSingleCut is the PR 1 reference pipeline kept for metamorphic
 // testing and ablation: identical master and separation oracle, but each
-// round adds only the single cut induced by the global minimum cut. The
-// optimum is the same as SolveLP's; only the effort differs (the property
-// suite asserts the former, the scaling experiment reports the latter).
+// round adds only the single cut induced by the global minimum cut, and no
+// cut is ever purged. The optimum is the same as SolveLP's; only the effort
+// differs (the property suite asserts the former, the scaling experiment
+// reports the latter).
 func SolveLPSingleCut(in *core.Instance) (*LPResult, error) {
-	return solveLP(in, false)
+	return solveLP(in, lpOptions{batchCap: 1})
 }
 
-func solveLP(in *core.Instance, batch bool) (*LPResult, error) {
+// SolveLPFixedBatch is the ablation pipeline behind BenchmarkSolveLPSmall
+// and E18: the batched separation of SolveLP with a fixed per-round cut cap
+// instead of the adaptive policy, and no purging. cap is clamped to
+// [1, 32].
+func SolveLPFixedBatch(in *core.Instance, cap int) (*LPResult, error) {
+	if cap < 1 {
+		cap = 1
+	}
+	if cap > maxBatchCuts {
+		cap = maxBatchCuts
+	}
+	return solveLP(in, lpOptions{batchCap: cap})
+}
+
+// lpOptions selects the cut lifecycle policy of one solveLP run.
+type lpOptions struct {
+	batchCap int  // cuts per separation round; 0 = adaptive in the horizon
+	purge    bool // purge persistently slack cuts between rounds
+}
+
+func solveLP(in *core.Instance, opts lpOptions) (*LPResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -103,9 +134,13 @@ func solveLP(in *core.Instance, batch bool) (*LPResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	batchCap := opts.batchCap
+	if batchCap == 0 {
+		batchCap = adaptiveBatchCap(in)
+	}
 	sep := newSeparator(in)
 	res := &LPResult{Cuts: len(in.Jobs)}
-	seen := make(map[string]bool) // job sets whose cuts are in the master
+	reg := newCutRegistry(prob.NumConstraints())
 	var basis *lp.Basis
 	maxRounds := 20*T + 200
 	for round := 0; round < maxRounds; round++ {
@@ -119,24 +154,24 @@ func solveLP(in *core.Instance, batch bool) (*LPResult, error) {
 		}
 		basis = nextBasis
 		res.Pivots += sol.Iterations
+		res.Refactors += sol.Refactors
 		y := sol.X
-		var batchA [][]bool
-		if batch {
-			batchA = sep.separateAll(y)
-		} else if A, violated := sep.separate(y); violated {
-			batchA = [][]bool{A}
+		if opts.purge {
+			reg.observeX(y)
+			res.Purged += reg.purge(prob, basis)
 		}
+		batchA := sep.separateAll(y, batchCap)
 		added := 0
 		for _, A := range batchA {
 			key := jobSetKey(A)
-			if seen[key] {
+			if reg.inMaster(key) {
 				continue
 			}
-			seen[key] = true
 			cols, vals, rhs := cutFor(in, A)
 			if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
 				return nil, err
 			}
+			reg.add(key, cols, vals, rhs)
 			added++
 		}
 		if added == 0 {
@@ -268,15 +303,17 @@ func (s *separator) separate(y []float64) (A []bool, violated bool) {
 // at least that job's deficiency — every returned set yields a valid
 // violated cut, and the batch localizes the deficiency per job instead of
 // aggregating it into one coarse cut per round.
-// maxBatchCuts caps the job sets harvested per probe (the global min cut
-// plus up to maxBatchCuts-1 per-job violators). Uncapped batching floods
-// the master — at T = 4096 it grows past two thousand rows, and the
-// revised simplex's O(m²)-per-pivot work swamps the rounds saved; capped,
-// the deepest deficiencies are localized first and the rest surface in
-// later rounds if the aggregate cut leaves them violated.
+//
+// cap bounds the job sets harvested per probe (the global min cut plus up
+// to cap−1 per-job violators). Uncapped batching floods the master — the
+// deepest deficiencies are localized first and the rest surface in later
+// rounds if the aggregate cut leaves them violated. maxBatchCuts is the
+// hard ceiling; the default policy scales the cap with the horizon (see
+// adaptiveBatchCap), down to single-cut behavior at tiny T where extra
+// rows only pad an already-cheap master.
 const maxBatchCuts = 32
 
-func (s *separator) separateAll(y []float64) [][]bool {
+func (s *separator) separateAll(y []float64, cap int) [][]bool {
 	if !s.load(y) {
 		return nil
 	}
@@ -308,7 +345,7 @@ func (s *separator) separateAll(y []float64) [][]bool {
 	})
 	covered := make([]bool, nJobs)
 	for _, d := range short {
-		if len(out) >= maxBatchCuts {
+		if len(out) >= cap {
 			break
 		}
 		if covered[d.job] {

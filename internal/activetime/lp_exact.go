@@ -25,11 +25,26 @@ type ExactLPResult struct {
 // max-flow oracle (capacities are converted from the rational master
 // solution), then the final master optimum is exact for the generated cut
 // set; a last float separation confirms no cut is violated beyond
-// tolerance. Batching matters doubly here: every saved round saves a cold
-// rational solve of the whole master. Intended for small instances and for
-// certifying SolveLP — e.g. it proves the integrality-gap gadget's LP
-// optimum is exactly g+1.
+// tolerance. Intended for small instances and for certifying SolveLP —
+// e.g. it proves the integrality-gap gadget's LP optimum is exactly g+1.
+//
+// Each round after the first re-solves warm (lp.Problem.ResolveExactFrom):
+// the previous round's rational dictionary is the starting basis and only
+// the appended cuts are repaired by the exact dual simplex, instead of the
+// cold from-scratch solve SolveLPExactCold performs. E17 reports the pivots
+// both ways — warm re-solves cut them by an order of magnitude.
 func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
+	return solveLPExact(in, true)
+}
+
+// SolveLPExactCold is the pre-warm-start reference pipeline kept for
+// ablation (E17's exact-pivot comparison): identical cuts and convergence,
+// but every round solves the rational master from scratch.
+func SolveLPExactCold(in *core.Instance) (*ExactLPResult, error) {
+	return solveLPExact(in, false)
+}
+
+func solveLPExact(in *core.Instance, warm bool) (*ExactLPResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -44,20 +59,24 @@ func SolveLPExact(in *core.Instance) (*ExactLPResult, error) {
 	sep := newSeparator(in)
 	res := &ExactLPResult{Cuts: len(in.Jobs)}
 	seen := make(map[string]bool)
+	var basis *lp.RatBasis
 	maxRounds := 20*T + 200
 	for round := 0; round < maxRounds; round++ {
 		res.Rounds++
-		sol, err := lp.SolveExact(prob)
+		sol, nextBasis, err := prob.ResolveExactFrom(basis)
 		if err != nil {
 			return nil, err
 		}
 		if sol.Status != lp.Optimal {
 			return nil, fmt.Errorf("activetime: exact LP master %v", sol.Status)
 		}
+		if warm {
+			basis = nextBasis
+		}
 		res.Pivots += sol.Iterations
 		y := sol.Float64s()
 		added := 0
-		for _, A := range sep.separateAll(y) {
+		for _, A := range sep.separateAll(y, maxBatchCuts) {
 			key := jobSetKey(A)
 			if seen[key] {
 				continue

@@ -1,0 +1,158 @@
+package activetime
+
+import (
+	"repro/internal/core"
+	"repro/internal/lp"
+)
+
+// Cut lifecycle constants.
+const (
+	// purgeSlackTol is the slack beyond which a cut counts as inactive for
+	// a round. It is far above the solver's 1e-6 feasibility tolerance, so
+	// every purged row provably has its slack column basic — the
+	// precondition of lp.Problem.RemoveRows (a nonbasic slack rests at
+	// exactly zero).
+	purgeSlackTol = 1e-5
+	// purgeAfterRounds is how many consecutive inactive rounds a cut must
+	// accumulate before it is purged. One slack round is routine (the
+	// optimum wanders across alternative vertices); three in a row is the
+	// registry's definition of "persistently slack".
+	purgeAfterRounds = 3
+	// purgeMinCuts keeps the registry from bothering with small masters:
+	// below this many live cuts a purge saves less than the
+	// refactorization it forces.
+	purgeMinCuts = 24
+)
+
+// cutRecord is the lifecycle state of one Benders cut. slackRounds is the
+// registry's age-in-inactivity counter: it measures how long the cut has
+// been continuously slack, which by complementary slackness is exactly how
+// long its dual price has been zero — one counter carries the age, slack
+// and dual-activity views of the cut's life.
+type cutRecord struct {
+	key         string
+	cols        []int
+	vals        []float64
+	rhs         float64
+	inMaster    bool
+	slackRounds int  // consecutive rounds with slack > purgeSlackTol
+	everPurged  bool // purged once already; pinned forever if re-added
+}
+
+// cutRegistry tracks age, slack and dual activity for every Benders cut in
+// the master and purges persistently slack cuts between separation rounds.
+//
+// Slack tracking doubles as dual-activity tracking: by complementary
+// slackness a cut with positive slack has dual price zero, so
+// "slack > tol for purgeAfterRounds consecutive rounds" is precisely "no
+// dual activity for that long". Purging goes through
+// lp.Problem.RemoveRows against the live basis — the slack columns of
+// purged rows are basic, so the simplex state stays optimal and the next
+// re-solve pays one refactorization instead of the reverted
+// purge-and-rebuild's cold solve.
+//
+// Termination of cut generation survives purging: a purged cut may return
+// (separation can rediscover it), but a record that was purged once is
+// pinned for good on re-entry, so each cut key is added at most twice and
+// the standard finite-cut-family argument goes through.
+type cutRegistry struct {
+	baseRows int          // seed covering rows, never purged
+	records  []*cutRecord // live cuts in master-row order (row = baseRows + index)
+	byKey    map[string]*cutRecord
+	purged   int  // lifetime purge count
+	disabled bool // set if a purge ever fails; purging is best-effort
+}
+
+func newCutRegistry(baseRows int) *cutRegistry {
+	return &cutRegistry{baseRows: baseRows, byKey: make(map[string]*cutRecord)}
+}
+
+// inMaster reports whether the cut for this job-set key is currently a row
+// of the master.
+func (cr *cutRegistry) inMaster(key string) bool {
+	rec := cr.byKey[key]
+	return rec != nil && rec.inMaster
+}
+
+// add records the cut as appended to the master (the caller has just
+// AddSparse'd it as the last row).
+func (cr *cutRegistry) add(key string, cols []int, vals []float64, rhs float64) {
+	rec := cr.byKey[key]
+	if rec == nil {
+		rec = &cutRecord{key: key, cols: cols, vals: vals, rhs: rhs}
+		cr.byKey[key] = rec
+	}
+	rec.inMaster = true
+	rec.slackRounds = 0
+	cr.records = append(cr.records, rec)
+}
+
+// observeX updates every live cut's slack streak against the round's
+// optimal point (solver variable order: x[t-1] is slot t).
+func (cr *cutRegistry) observeX(x []float64) {
+	for _, rec := range cr.records {
+		slack := -rec.rhs
+		for k, c := range rec.cols {
+			slack += rec.vals[k] * x[c]
+		}
+		if slack > purgeSlackTol {
+			rec.slackRounds++
+		} else {
+			rec.slackRounds = 0
+		}
+	}
+}
+
+// purge removes every persistently slack, not-yet-pinned cut from the
+// master and the live basis, returning how many rows went. A failed
+// removal (impossible while the slack-implies-basic invariant holds)
+// disables purging for the rest of the solve rather than wedging it.
+func (cr *cutRegistry) purge(prob *lp.Problem, basis *lp.Basis) int {
+	if cr.disabled || len(cr.records) < purgeMinCuts {
+		return 0
+	}
+	var drop []int
+	for i, rec := range cr.records {
+		if rec.slackRounds >= purgeAfterRounds && !rec.everPurged {
+			drop = append(drop, cr.baseRows+i)
+		}
+	}
+	if len(drop) == 0 {
+		return 0
+	}
+	if err := prob.RemoveRows(drop, basis); err != nil {
+		cr.disabled = true
+		return 0
+	}
+	out := 0
+	for _, rec := range cr.records {
+		if rec.slackRounds >= purgeAfterRounds && !rec.everPurged {
+			rec.inMaster = false
+			rec.everPurged = true
+			rec.slackRounds = 0
+			continue
+		}
+		cr.records[out] = rec
+		out++
+	}
+	cr.records = cr.records[:out]
+	cr.purged += len(drop)
+	return len(drop)
+}
+
+// adaptiveBatchCap picks the per-round cut cap from the horizon: single-cut
+// behavior below T ≈ 128 (small masters re-solve in microseconds, extra
+// rows just pad them), ramping to the full batch of 32 by T ≈ 4096 where
+// every saved separation round saves an expensive master repair.
+// BenchmarkSolveLPSmall pins the small end of this policy; E17/E18 the
+// large end.
+func adaptiveBatchCap(in *core.Instance) int {
+	c := int(in.Horizon()) / 128
+	if c < 1 {
+		c = 1
+	}
+	if c > maxBatchCuts {
+		c = maxBatchCuts
+	}
+	return c
+}

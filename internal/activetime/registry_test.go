@@ -1,0 +1,78 @@
+package activetime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+)
+
+// TestCutPurgingMatchesReferences locks the lifecycle management end to end
+// on the scaling family: the default pipeline (adaptive cap + purging) must
+// agree with the never-purging single-cut reference to 1e-6 on every seed,
+// and purging must actually fire on this workload — a policy that never
+// triggers would vacuously "pass".
+func TestCutPurgingMatchesReferences(t *testing.T) {
+	totalPurged := 0
+	for _, T := range []int{512, 1024} {
+		for seed := int64(0); seed < 3; seed++ {
+			in := gen.LargeHorizon(gen.RandomConfig{N: T / 8, Horizon: T, MaxLen: 16, G: 4, Seed: seed})
+			def, err := SolveLP(in)
+			if err != nil {
+				t.Fatalf("T=%d seed=%d: SolveLP: %v", T, seed, err)
+			}
+			single, err := SolveLPSingleCut(in)
+			if err != nil {
+				t.Fatalf("T=%d seed=%d: SolveLPSingleCut: %v", T, seed, err)
+			}
+			if math.Abs(def.Objective-single.Objective) > 1e-6 {
+				t.Errorf("T=%d seed=%d: purged pipeline LP %.9f != single-cut %.9f",
+					T, seed, def.Objective, single.Objective)
+			}
+			if single.Purged != 0 {
+				t.Errorf("T=%d seed=%d: single-cut reference purged %d cuts; must never purge",
+					T, seed, single.Purged)
+			}
+			totalPurged += def.Purged
+		}
+	}
+	if totalPurged == 0 {
+		t.Error("cut purging never fired across the scaling workload; lifecycle policy is dead code")
+	}
+}
+
+// TestAdaptiveBatchCapPolicy pins the horizon→cap curve the benchmarks
+// justify: single-cut at tiny horizons, the full batch by T = 4096.
+func TestAdaptiveBatchCapPolicy(t *testing.T) {
+	for _, tc := range []struct{ T, want int }{
+		{16, 1}, {64, 1}, {128, 1}, {256, 2}, {512, 4},
+		{1024, 8}, {2048, 16}, {4096, 32}, {16384, 32},
+	} {
+		in := &core.Instance{G: 1, Jobs: []core.Job{{
+			Release: 0, Deadline: core.Time(tc.T), Length: 1,
+		}}}
+		if got := adaptiveBatchCap(in); got != tc.want {
+			t.Errorf("adaptiveBatchCap(T=%d) = %d, want %d", tc.T, got, tc.want)
+		}
+	}
+}
+
+// TestRegistryPinsRepurgedCuts checks the termination guard: a cut key
+// purged once and re-added is never purged again.
+func TestRegistryPinsRepurgedCuts(t *testing.T) {
+	reg := newCutRegistry(0)
+	reg.add("k", []int{0}, []float64{1}, 1)
+	rec := reg.byKey["k"]
+	rec.everPurged = true // as if it had been purged and re-added
+	rec.slackRounds = purgeAfterRounds + 5
+	for i := 0; i < purgeMinCuts; i++ { // clear the small-master floor
+		reg.add(string(rune('a'+i)), []int{0}, []float64{1}, 1)
+	}
+	if n := reg.purge(nil, nil); n != 0 {
+		t.Fatalf("pinned cut purged (%d rows removed)", n)
+	}
+	if !rec.inMaster {
+		t.Fatal("pinned cut lost its master row")
+	}
+}

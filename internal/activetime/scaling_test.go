@@ -1,0 +1,44 @@
+package activetime
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// TestSolveLPHorizon16k is the horizon-scale endurance test of the
+// factorized pipeline: a genuine T = 16384 instance of the scaling family
+// must solve — including under the race detector, where the dense-inverse
+// engine's minutes-long O(m²) pivots made the size unreachable. Job
+// density is N = T/32 to keep the suite affordable (the canonical N = T/8
+// density at this horizon still exceeds practical budgets — the pricing
+// sweep is the next wall, see ROADMAP); the horizon, master width and cut
+// lifecycle machinery are exercised at full 16k scale. The purging
+// pipeline must agree with the never-purging fixed-batch reference.
+func TestSolveLPHorizon16k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("16k-slot endurance test")
+	}
+	const T = 16384
+	in := gen.LargeHorizon(gen.RandomConfig{N: T / 32, Horizon: T, MaxLen: 16, G: 4, Seed: 3})
+	def, err := SolveLP(in)
+	if err != nil {
+		t.Fatalf("SolveLP at T=16384: %v", err)
+	}
+	fixed, err := SolveLPFixedBatch(in, 32)
+	if err != nil {
+		t.Fatalf("SolveLPFixedBatch at T=16384: %v", err)
+	}
+	if math.Abs(def.Objective-fixed.Objective) > 1e-6 {
+		t.Fatalf("purged LP %.9f != fixed-batch LP %.9f", def.Objective, fixed.Objective)
+	}
+	if def.Objective <= 0 {
+		t.Fatalf("degenerate LP optimum %v", def.Objective)
+	}
+	if def.Purged == 0 {
+		t.Error("cut purging never fired at T=16384; lifecycle policy is dead at scale")
+	}
+	t.Logf("T=16384 n=%d: obj=%.3f rounds=%d cuts=%d purged=%d pivots=%d refactors=%d",
+		len(in.Jobs), def.Objective, def.Rounds, def.Cuts, def.Purged, def.Pivots, def.Refactors)
+}

@@ -110,6 +110,7 @@ func All() []Runner {
 		{"E15", "Online busy time (Section 1.3 related work)", E15Online},
 		{"E16", "Wall-clock scaling of the polynomial algorithms", E16Scaling},
 		{"E17", "LP1 pipeline at large horizons (batched vs single-cut)", E17LPScaling},
+		{"E18", "Pivot-cost scaling of the LU/eta simplex core", E18PivotCost},
 	}
 }
 

@@ -13,13 +13,20 @@ import (
 // laminar/nested scaling family (internal/gen.LargeHorizon): batched cut
 // separation (one max-flow probe harvesting the global minimum cut plus
 // per-deficient-job violators) against the single-cut-per-round reference,
-// both on the sparse revised-simplex master. The two pipelines must agree
-// on the LP optimum — the run fails if they diverge beyond 1e-6 — so the
-// table is simultaneously a speed record and a cross-solver check. The
+// both on the factorized revised-simplex master. The two pipelines must
+// agree on the LP optimum — the run fails if they diverge beyond 1e-6 — so
+// the table is simultaneously a speed record and a cross-solver check. The
 // PR 1 dense pipeline has no column here because it cannot run these sizes:
 // it mis-reported feasible masters as infeasible past T ≈ 1000.
+//
+// At the smallest size the table also reports the exact rational master's
+// pivots both ways — warm re-solves from the previous round's rational
+// dictionary (lp.Problem.ResolveExactFrom) against the cold-per-round
+// reference — quantifying what the warm start saves where the exact engine
+// is affordable at all.
 func E17LPScaling(cfg Config) (*Table, error) {
-	sizes := []int{256, 512, 1024, 2048}
+	sizes := []int{128, 256, 512, 1024, 2048}
+	exactUpTo := 128 // dense rational tableaus; keep the comparison tiny
 	if cfg.Quick {
 		sizes = []int{128, 256}
 	}
@@ -28,7 +35,7 @@ func E17LPScaling(cfg Config) (*Table, error) {
 		Title: "LP1 pipeline at large horizons: batched vs single-cut separation",
 		Claim: "batched separation needs strictly fewer rounds and scales past T ~ 1000 where the dense pipeline failed",
 		Columns: []string{"T", "n", "LP", "batch-ms", "batch-rounds", "batch-cuts",
-			"batch-pivots", "single-ms", "single-rounds"},
+			"batch-pivots", "single-ms", "single-rounds", "exact-warm-piv", "exact-cold-piv"},
 	}
 	for _, T := range sizes {
 		in := gen.LargeHorizon(gen.RandomConfig{
@@ -50,13 +57,31 @@ func E17LPScaling(cfg Config) (*Table, error) {
 			return nil, fmt.Errorf("T=%d: batched LP %.9f != single-cut LP %.9f",
 				T, batched.Objective, single.Objective)
 		}
+		warmPiv, coldPiv := "-", "-"
+		if T <= exactUpTo {
+			exWarm, err := activetime.SolveLPExact(in)
+			if err != nil {
+				return nil, fmt.Errorf("T=%d exact warm: %w", T, err)
+			}
+			exCold, err := activetime.SolveLPExactCold(in)
+			if err != nil {
+				return nil, fmt.Errorf("T=%d exact cold: %w", T, err)
+			}
+			wantLP, _ := exWarm.Objective.Float64()
+			if math.Abs(batched.Objective-wantLP) > 1e-6 {
+				return nil, fmt.Errorf("T=%d: float LP %.9f != exact LP %.9f", T, batched.Objective, wantLP)
+			}
+			warmPiv, coldPiv = di(exWarm.Pivots), di(exCold.Pivots)
+		}
 		tab.AddRow(di(T), di(len(in.Jobs)), f3(batched.Objective),
 			fmt.Sprintf("%.1f", batchMS), di(batched.Rounds), di(batched.Cuts),
-			di(batched.Pivots), fmt.Sprintf("%.1f", singleMS), di(single.Rounds))
+			di(batched.Pivots), fmt.Sprintf("%.1f", singleMS), di(single.Rounds),
+			warmPiv, coldPiv)
 	}
 	tab.Notes = append(tab.Notes,
 		"family: laminar binary containers + nested window chains, n = T/8 jobs, g = 4",
 		"identical objectives are asserted (1e-6), so the table doubles as a metamorphic check",
-		"the gen family itself scales to T ~ 4096; the sweep stops at 2048 to keep full runs interactive")
+		"exact-warm/cold-piv: rational master pivots with and without the warm-started dictionary (T <= 128 only)",
+		"E18 carries the sweep to T = 4096 with the effort anatomy of the factorized core")
 	return tab, nil
 }

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/activetime"
+	"repro/internal/gen"
+)
+
+// E18PivotCost is the pivot-cost scaling study of the LU/eta-factorized
+// simplex core: the full LP1 pipeline on the laminar/nested scaling family,
+// default policy (adaptive batch cap + cut-registry purging) against the
+// fixed-32-cap never-purging ablation. For each size it reports the
+// effort anatomy — rounds, cuts, purged rows, simplex pivots,
+// refactorizations and the realized per-pivot cost — that the dense-inverse
+// engine's O(m²)-per-pivot wall used to hide: PR 2's engine took ~90 s at
+// T = 4096 on this family; the factorized core solves it in seconds. The
+// two pipelines must agree on the LP optimum to 1e-6, so the table is also
+// a metamorphic check of cut purging at scale.
+func E18PivotCost(cfg Config) (*Table, error) {
+	sizes := []int{512, 1024, 2048, 4096}
+	if cfg.Quick {
+		sizes = []int{256, 512}
+	}
+	tab := &Table{
+		ID:    "E18",
+		Title: "Pivot-cost scaling of the LU/eta simplex core (default vs fixed-batch ablation)",
+		Claim: "per-pivot cost tracks factor sparsity, not m²; purging keeps the master near its binding working set",
+		Columns: []string{"T", "n", "LP", "ms", "rounds", "cuts", "purged", "pivots",
+			"refactors", "us/pivot", "fixed32-ms", "fixed32-pivots"},
+	}
+	for _, T := range sizes {
+		in := gen.LargeHorizon(gen.RandomConfig{
+			N: T / 8, Horizon: T, MaxLen: 16, G: 4, Seed: cfg.Seed,
+		})
+		start := time.Now()
+		def, err := activetime.SolveLP(in)
+		if err != nil {
+			return nil, fmt.Errorf("T=%d default: %w", T, err)
+		}
+		defMS := float64(time.Since(start).Microseconds()) / 1000
+		start = time.Now()
+		fixed, err := activetime.SolveLPFixedBatch(in, 32)
+		if err != nil {
+			return nil, fmt.Errorf("T=%d fixed32: %w", T, err)
+		}
+		fixedMS := float64(time.Since(start).Microseconds()) / 1000
+		if math.Abs(def.Objective-fixed.Objective) > 1e-6 {
+			return nil, fmt.Errorf("T=%d: purged LP %.9f != fixed-batch LP %.9f",
+				T, def.Objective, fixed.Objective)
+		}
+		perPivot := 0.0
+		if def.Pivots > 0 {
+			perPivot = defMS * 1000 / float64(def.Pivots)
+		}
+		tab.AddRow(di(T), di(len(in.Jobs)), f3(def.Objective),
+			fmt.Sprintf("%.1f", defMS), di(def.Rounds), di(def.Cuts), di(def.Purged),
+			di(def.Pivots), di(def.Refactors), fmt.Sprintf("%.1f", perPivot),
+			fmt.Sprintf("%.1f", fixedMS), di(fixed.Pivots))
+	}
+	tab.Notes = append(tab.Notes,
+		"family: laminar binary containers + nested window chains, n = T/8 jobs, g = 4",
+		"identical objectives asserted (1e-6): the table doubles as a purge-at-scale metamorphic check",
+		"PR 2's dense-inverse engine needed ~90 s for T = 4096 on this family; see BenchmarkSolveLPLargeHorizon for the locked record")
+	return tab, nil
+}

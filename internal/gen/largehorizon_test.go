@@ -24,7 +24,7 @@ func TestLargeHorizonTinyHorizon(t *testing.T) {
 // nested chains, and feasibility with every slot open (the generator clamps
 // lengths so the LP pipeline never sees an infeasible scaling instance).
 func TestLargeHorizonShape(t *testing.T) {
-	for _, T := range []int{64, 256, 1024} {
+	for _, T := range []int{64, 256, 1024, 16384} {
 		for seed := int64(0); seed < 3; seed++ {
 			in := LargeHorizon(RandomConfig{N: T / 8, Horizon: T, MaxLen: 16, G: 4, Seed: seed})
 			if err := in.Validate(); err != nil {

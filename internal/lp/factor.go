@@ -1,0 +1,358 @@
+package lp
+
+import "math"
+
+// factor is the factorized representation of the basis: a sparse LU
+// factorization of the basis matrix as of the last refactorization, plus a
+// product-form eta file with one eta operation per basis change since. It
+// replaces the explicit dense m×m inverse the engine carried before — every
+// former B⁻¹·v product is now an FTRAN (forward solve through L, U and the
+// eta file) and every vᵀ·B⁻¹ product a BTRAN (the same chain transposed, in
+// reverse), so per-pivot work tracks the sparsity of the factors instead of
+// m².
+//
+// # Factorization
+//
+// refactorize performs a left-looking sparse LU with a static Markowitz-style
+// column ordering (basis columns processed in ascending nonzero count, which
+// claims the unit logical columns first — on covering masters they are the
+// bulk of the basis and generate no fill) and partial pivoting by largest
+// residual magnitude within the column. Two index spaces meet here: basis
+// *positions* (which slot of the basis a column occupies — the space xB and
+// FTRAN results live in) and engine *rows* (the constraint-row space BTRAN
+// results and right-hand sides live in). perm maps elimination step to the
+// pivot's engine row, cperm to its basis position; the triangular solves
+// translate between the spaces so callers never see elimination order.
+//
+// # Eta file
+//
+// When column q enters the basis at position r with pivot column
+// w = B⁻¹·A_q, the new inverse is E⁻¹·B⁻¹ with E the identity whose r-th
+// column is w. pushEta records (r, w) sparsely; FTRAN applies the recorded
+// operations oldest-first after the triangular solves, BTRAN applies their
+// transposes newest-first before them. The eta file is the only state that
+// grows per pivot, and it grows by nnz(w), not m².
+//
+// # Storage
+//
+// All factor content lives in shared arenas (offset-indexed backing slices)
+// owned by the struct and reset, not reallocated, at each refactorization —
+// steady-state pivoting and periodic refactorization are allocation-free
+// once the arenas have warmed up.
+type factor struct {
+	m int
+
+	// LU of the refactorization-time basis B0.
+	perm    []int32   // elimination step -> engine row of the pivot
+	cperm   []int32   // elimination step -> basis position eliminated
+	rowStep []int32   // engine row -> elimination step (inverse of perm)
+	uDiag   []float64 // pivot values, by step
+
+	// L (unit lower triangular) multipliers, column-major by step: column k
+	// holds the rows still unclaimed at step k, arena range lOff[k]..lOff[k+1].
+	lOff []int32
+	lRow []int32 // engine rows
+	lVal []float64
+
+	// U above-diagonal entries, column-major by step: column k holds its
+	// entries at earlier steps, arena range uOff[k]..uOff[k+1].
+	uOff  []int32
+	uStep []int32 // earlier elimination steps
+	uVal  []float64
+
+	// Eta file, oldest first: eta e pivots position etaPos[e] with pivot
+	// value etaPiv[e]; its off-pivot nonzeros occupy etaOff[e]..etaOff[e+1].
+	etaPos []int32
+	etaPiv []float64
+	etaOff []int32
+	etaIdx []int32 // basis positions
+	etaVal []float64
+
+	luNNZ int // nonzeros in L+U at the last refactorization
+
+	// Scratch for the solves and the factorization, length m, plus the
+	// column-pattern worklist. xwork must be all-zero between uses.
+	xwork  []float64
+	swork  []float64
+	patt   []int32
+	order  []int32 // column processing order scratch
+	counts []int32 // counting-sort scratch for the column ordering
+}
+
+// basisMatrix is what refactorize needs from the engine: the sparse columns
+// of the current basis, one per basis position. It is an interface rather
+// than a pair of callbacks so that refactorization allocates no closures.
+type basisMatrix interface {
+	// basisColNNZ reports the nonzero count of the column at position p.
+	basisColNNZ(p int) int
+	// scatterBasisColumn adds the column at position p into the dense
+	// engine-row-indexed accumulator x, appending each row whose value was
+	// zero before the add to patt, and returns the extended pattern.
+	scatterBasisColumn(p int, x []float64, patt []int32) []int32
+}
+
+// singularTol is the smallest pivot magnitude refactorize accepts. A basis
+// whose best remaining pivot falls below it is reported as numerically
+// singular and the previous representation is kept (the engine's verify /
+// cold-fallback layers take it from there).
+const singularTol = 1e-11
+
+// reset prepares the factor for a refactorization at dimension m, reusing
+// arena capacity.
+func (f *factor) reset(m int) {
+	grow32 := func(s []int32, n int) []int32 {
+		if cap(s) < n {
+			return make([]int32, n, n+n/4+16)
+		}
+		return s[:n]
+	}
+	growF := func(s []float64, n int) []float64 {
+		if cap(s) < n {
+			return make([]float64, n, n+n/4+16)
+		}
+		return s[:n]
+	}
+	f.m = m
+	f.perm = grow32(f.perm, 0)
+	f.cperm = grow32(f.cperm, 0)
+	f.rowStep = grow32(f.rowStep, m)
+	for i := range f.rowStep {
+		f.rowStep[i] = -1
+	}
+	f.uDiag = growF(f.uDiag, 0)
+	f.lOff = grow32(f.lOff, 1)
+	f.lOff[0] = 0
+	f.lRow = f.lRow[:0]
+	f.lVal = f.lVal[:0]
+	f.uOff = grow32(f.uOff, 1)
+	f.uOff[0] = 0
+	f.uStep = f.uStep[:0]
+	f.uVal = f.uVal[:0]
+	f.clearEtas()
+	if cap(f.xwork) < m {
+		f.xwork = make([]float64, m, m+m/4+16)
+		f.swork = make([]float64, m, m+m/4+16)
+	} else {
+		f.xwork = f.xwork[:m]
+		f.swork = f.swork[:m]
+		for i := range f.xwork {
+			f.xwork[i] = 0
+		}
+	}
+	f.patt = f.patt[:0]
+}
+
+// clearEtas drops the eta file (the basis it encodes has just been folded
+// into a fresh LU).
+func (f *factor) clearEtas() {
+	f.etaPos = f.etaPos[:0]
+	f.etaPiv = f.etaPiv[:0]
+	if f.etaOff == nil {
+		f.etaOff = make([]int32, 1, 64)
+	}
+	f.etaOff = f.etaOff[:1]
+	f.etaOff[0] = 0
+	f.etaIdx = f.etaIdx[:0]
+	f.etaVal = f.etaVal[:0]
+}
+
+// etas reports the current eta-file length.
+func (f *factor) etas() int { return len(f.etaPos) }
+
+// etaNNZ reports the total off-pivot nonzeros recorded in the eta file.
+func (f *factor) etaNNZ() int { return len(f.etaIdx) }
+
+// refactorize builds a fresh LU of the basis described by src. It reports
+// false when the basis is numerically singular, leaving the factor unusable
+// (callers must not solve with it until a refactorization succeeds).
+func (f *factor) refactorize(m int, src basisMatrix) bool {
+	f.reset(m)
+	// Static Markowitz-style ordering: columns by ascending nonzero count,
+	// ties by position for determinism. Counting sort — counts are tiny.
+	if cap(f.order) < m {
+		f.order = make([]int32, m, m+m/4+16)
+	}
+	order := f.order[:m]
+	maxN := 0
+	for p := 0; p < m; p++ {
+		if c := src.basisColNNZ(p); c > maxN {
+			maxN = c
+		}
+	}
+	if cap(f.counts) < maxN+2 {
+		f.counts = make([]int32, maxN+2, maxN+maxN/4+18)
+	}
+	counts := f.counts[:maxN+2]
+	for c := range counts {
+		counts[c] = 0
+	}
+	for p := 0; p < m; p++ {
+		counts[src.basisColNNZ(p)+1]++
+	}
+	for c := 1; c < len(counts); c++ {
+		counts[c] += counts[c-1]
+	}
+	for p := 0; p < m; p++ {
+		c := src.basisColNNZ(p)
+		order[counts[c]] = int32(p)
+		counts[c]++
+	}
+
+	x := f.xwork
+	for _, p32 := range order {
+		p := int(p32)
+		k := len(f.perm)
+		// Scatter the column, engine-row indexed.
+		f.patt = src.scatterBasisColumn(p, x, f.patt[:0])
+		// Apply the completed elimination steps in order. Updates can only
+		// introduce nonzeros at rows claimed by later steps, which this
+		// forward sweep has yet to read, so a single ordered pass suffices.
+		for q := 0; q < k; q++ {
+			zq := x[f.perm[q]]
+			if zq == 0 {
+				continue
+			}
+			f.uStep = append(f.uStep, int32(q))
+			f.uVal = append(f.uVal, zq)
+			for e := f.lOff[q]; e < f.lOff[q+1]; e++ {
+				r := f.lRow[e]
+				if x[r] == 0 {
+					f.patt = append(f.patt, r)
+				}
+				x[r] -= f.lVal[e] * zq
+			}
+		}
+		f.uOff = append(f.uOff, int32(len(f.uStep)))
+		// Partial pivoting over the unclaimed rows.
+		piv, best := int32(-1), singularTol
+		for _, r := range f.patt {
+			if f.rowStep[r] >= 0 {
+				continue
+			}
+			if a := math.Abs(x[r]); a > best {
+				piv, best = r, a
+			}
+		}
+		if piv < 0 {
+			// Singular: clear scratch and bail.
+			for _, r := range f.patt {
+				x[r] = 0
+			}
+			return false
+		}
+		d := x[piv]
+		f.perm = append(f.perm, piv)
+		f.cperm = append(f.cperm, int32(p))
+		f.rowStep[piv] = int32(k)
+		f.uDiag = append(f.uDiag, d)
+		// Build the L column and zero the scratch in one pass. Zeroing on
+		// first visit also neutralizes duplicate pattern entries (a value
+		// that cancelled to exactly zero mid-sweep and was re-added).
+		for _, r := range f.patt {
+			xr := x[r]
+			x[r] = 0
+			if xr == 0 || f.rowStep[r] >= 0 {
+				continue
+			}
+			f.lRow = append(f.lRow, r)
+			f.lVal = append(f.lVal, xr/d)
+		}
+		f.lOff = append(f.lOff, int32(len(f.lRow)))
+	}
+	f.luNNZ = len(f.lRow) + len(f.uStep) + m
+	return true
+}
+
+// pushEta records the basis change "column entering at position pos with
+// pivot column w" (w = B⁻¹·A_entering, dense, length m).
+func (f *factor) pushEta(pos int, w []float64) {
+	f.etaPos = append(f.etaPos, int32(pos))
+	f.etaPiv = append(f.etaPiv, w[pos])
+	for i, wi := range w {
+		if wi != 0 && i != pos {
+			f.etaIdx = append(f.etaIdx, int32(i))
+			f.etaVal = append(f.etaVal, wi)
+		}
+	}
+	f.etaOff = append(f.etaOff, int32(len(f.etaIdx)))
+}
+
+// ftran solves B·x = v in place: on entry v holds a right-hand side indexed
+// by engine row; on return it holds the solution indexed by basis position.
+func (f *factor) ftran(v []float64) {
+	m := f.m
+	// Forward solve through L (engine-row space).
+	for k := 0; k < m; k++ {
+		zk := v[f.perm[k]]
+		if zk == 0 {
+			continue
+		}
+		for e := f.lOff[k]; e < f.lOff[k+1]; e++ {
+			v[f.lRow[e]] -= f.lVal[e] * zk
+		}
+	}
+	// Backward solve through U (elimination-step space), result gathered
+	// into scratch then scattered to basis positions.
+	y := f.swork
+	for k := m - 1; k >= 0; k-- {
+		yk := v[f.perm[k]] / f.uDiag[k]
+		y[k] = yk
+		if yk == 0 {
+			continue
+		}
+		for e := f.uOff[k]; e < f.uOff[k+1]; e++ {
+			v[f.perm[f.uStep[e]]] -= f.uVal[e] * yk
+		}
+	}
+	for k := 0; k < m; k++ {
+		v[f.cperm[k]] = y[k]
+	}
+	// Eta file, oldest first (position space).
+	for e := 0; e < len(f.etaPos); e++ {
+		r := f.etaPos[e]
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		vr /= f.etaPiv[e]
+		v[r] = vr
+		for q := f.etaOff[e]; q < f.etaOff[e+1]; q++ {
+			v[f.etaIdx[q]] -= f.etaVal[q] * vr
+		}
+	}
+}
+
+// btran solves Bᵀ·y = v in place: on entry v is indexed by basis position;
+// on return it holds the solution indexed by engine row.
+func (f *factor) btran(v []float64) {
+	m := f.m
+	// Eta transposes, newest first (position space).
+	for e := len(f.etaPos) - 1; e >= 0; e-- {
+		r := f.etaPos[e]
+		s := 0.0
+		for q := f.etaOff[e]; q < f.etaOff[e+1]; q++ {
+			s += f.etaVal[q] * v[f.etaIdx[q]]
+		}
+		v[r] = (v[r] - s) / f.etaPiv[e]
+	}
+	// Forward solve through Uᵀ (elimination-step space).
+	z := f.swork
+	for k := 0; k < m; k++ {
+		zk := v[f.cperm[k]]
+		for e := f.uOff[k]; e < f.uOff[k+1]; e++ {
+			zk -= f.uVal[e] * z[f.uStep[e]]
+		}
+		z[k] = zk / f.uDiag[k]
+	}
+	// Backward solve through Lᵀ, then scatter to engine rows.
+	for k := m - 1; k >= 0; k-- {
+		yk := z[k]
+		for e := f.lOff[k]; e < f.lOff[k+1]; e++ {
+			yk -= f.lVal[e] * z[f.rowStep[f.lRow[e]]]
+		}
+		z[k] = yk
+	}
+	for k := 0; k < m; k++ {
+		v[f.perm[k]] = z[k]
+	}
+}

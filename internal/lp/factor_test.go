@@ -1,0 +1,234 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// denseMatrix is a test-only basisMatrix over an explicit dense matrix
+// (column p of the basis = column p of the matrix).
+type denseMatrix struct {
+	a [][]float64 // a[r][p]
+}
+
+func (d *denseMatrix) basisColNNZ(p int) int {
+	n := 0
+	for r := range d.a {
+		if d.a[r][p] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (d *denseMatrix) scatterBasisColumn(p int, x []float64, patt []int32) []int32 {
+	for r := range d.a {
+		if v := d.a[r][p]; v != 0 {
+			if x[r] == 0 {
+				patt = append(patt, int32(r))
+			}
+			x[r] += v
+		}
+	}
+	return patt
+}
+
+// randBasis builds a random sparse nonsingular-ish matrix: a signed
+// permutation diagonal (guaranteeing nonsingularity) plus random sparse
+// noise entries, the texture of a covering-master basis.
+func randBasis(rng *rand.Rand, m int, extra int) *denseMatrix {
+	a := make([][]float64, m)
+	for r := range a {
+		a[r] = make([]float64, m)
+	}
+	perm := rng.Perm(m)
+	for p, r := range perm {
+		s := 1.0
+		if rng.Intn(2) == 0 {
+			s = -1.0
+		}
+		a[r][p] = s * (0.5 + rng.Float64())
+	}
+	for k := 0; k < extra; k++ {
+		a[rng.Intn(m)][rng.Intn(m)] += float64(rng.Intn(5)) - 2
+	}
+	return &denseMatrix{a: a}
+}
+
+// solveDense solves a·x = b by Gauss-Jordan with partial pivoting (the
+// reference the factorization is checked against). Returns false if
+// numerically singular.
+func solveDense(a [][]float64, b []float64) ([]float64, bool) {
+	m := len(a)
+	w := make([][]float64, m)
+	for i := range w {
+		w[i] = append(append([]float64{}, a[i]...), b[i])
+	}
+	for k := 0; k < m; k++ {
+		piv, best := -1, 1e-12
+		for i := k; i < m; i++ {
+			if v := math.Abs(w[i][k]); v > best {
+				piv, best = i, v
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		w[k], w[piv] = w[piv], w[k]
+		f := 1 / w[k][k]
+		for j := k; j <= m; j++ {
+			w[k][j] *= f
+		}
+		for i := 0; i < m; i++ {
+			if i == k || w[i][k] == 0 {
+				continue
+			}
+			g := w[i][k]
+			for j := k; j <= m; j++ {
+				w[i][j] -= g * w[k][j]
+			}
+		}
+	}
+	x := make([]float64, m)
+	for i := 0; i < m; i++ {
+		x[i] = w[i][m]
+	}
+	return x, true
+}
+
+func matVec(a [][]float64, x []float64) []float64 {
+	m := len(a)
+	out := make([]float64, m)
+	for r := 0; r < m; r++ {
+		for p := 0; p < m; p++ {
+			out[r] += a[r][p] * x[p]
+		}
+	}
+	return out
+}
+
+func matTVec(a [][]float64, x []float64) []float64 {
+	m := len(a)
+	out := make([]float64, m)
+	for p := 0; p < m; p++ {
+		for r := 0; r < m; r++ {
+			out[p] += a[r][p] * x[r]
+		}
+	}
+	return out
+}
+
+// TestFactorSolvesMatchDense checks FTRAN and BTRAN against dense
+// Gauss-Jordan solves on random sparse bases across sizes and densities.
+func TestFactorSolvesMatchDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var f factor
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + rng.Intn(60)
+		d := randBasis(rng, m, rng.Intn(3*m))
+		if !f.refactorize(m, d) {
+			// Extra noise may genuinely cancel the matrix singular; the
+			// dense reference must agree.
+			if _, ok := solveDense(d.a, make([]float64, m)); ok {
+				t.Fatalf("trial %d: refactorize reported singular on a solvable basis", trial)
+			}
+			continue
+		}
+		for probe := 0; probe < 3; probe++ {
+			b := make([]float64, m)
+			for i := range b {
+				if rng.Intn(3) == 0 {
+					b[i] = rng.NormFloat64()
+				}
+			}
+			// FTRAN: solve B·x = b.
+			got := append([]float64{}, b...)
+			f.ftran(got)
+			back := matVec(d.a, got)
+			for i := range back {
+				if math.Abs(back[i]-b[i]) > 1e-8 {
+					t.Fatalf("trial %d m=%d: FTRAN residual %g at row %d", trial, m, back[i]-b[i], i)
+				}
+			}
+			// BTRAN: solve Bᵀ·y = b.
+			got = append(got[:0], b...)
+			f.btran(got)
+			back = matTVec(d.a, got)
+			for i := range back {
+				if math.Abs(back[i]-b[i]) > 1e-8 {
+					t.Fatalf("trial %d m=%d: BTRAN residual %g at position %d", trial, m, back[i]-b[i], i)
+				}
+			}
+		}
+	}
+}
+
+// TestFactorEtaUpdates drives a sequence of simulated basis changes through
+// pushEta and checks FTRAN/BTRAN against dense solves of the mutated basis
+// after every change.
+func TestFactorEtaUpdates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var f factor
+	for trial := 0; trial < 25; trial++ {
+		m := 5 + rng.Intn(40)
+		d := randBasis(rng, m, m)
+		if !f.refactorize(m, d) {
+			continue
+		}
+		for step := 0; step < 30; step++ {
+			// A random entering column replaces a random basis position.
+			col := make([]float64, m)
+			for i := range col {
+				if rng.Intn(4) == 0 {
+					col[i] = rng.NormFloat64()
+				}
+			}
+			col[rng.Intn(m)] += 1 + rng.Float64() // keep it nontrivial
+			w := append([]float64{}, col...)
+			f.ftran(w)
+			pos := rng.Intn(m)
+			if math.Abs(w[pos]) < 1e-6 {
+				continue // would be an illegal simplex pivot; skip
+			}
+			f.pushEta(pos, w)
+			for r := 0; r < m; r++ {
+				d.a[r][pos] = col[r]
+			}
+			b := make([]float64, m)
+			for i := range b {
+				b[i] = rng.NormFloat64()
+			}
+			want, ok := solveDense(d.a, b)
+			if !ok {
+				t.Fatalf("trial %d step %d: dense reference singular", trial, step)
+			}
+			got := append([]float64{}, b...)
+			f.ftran(got)
+			for i := range got {
+				if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+					t.Fatalf("trial %d step %d: FTRAN[%d] = %g, dense %g", trial, step, i, got[i], want[i])
+				}
+			}
+			// BTRAN against the transposed dense system.
+			at := make([][]float64, m)
+			for r := range at {
+				at[r] = make([]float64, m)
+				for p := 0; p < m; p++ {
+					at[r][p] = d.a[p][r]
+				}
+			}
+			wantT, ok := solveDense(at, b)
+			if !ok {
+				t.Fatalf("trial %d step %d: transposed dense reference singular", trial, step)
+			}
+			got = append(got[:0], b...)
+			f.btran(got)
+			for i := range got {
+				if math.Abs(got[i]-wantT[i]) > 1e-6*(1+math.Abs(wantT[i])) {
+					t.Fatalf("trial %d step %d: BTRAN[%d] = %g, dense %g", trial, step, i, got[i], wantT[i])
+				}
+			}
+		}
+	}
+}

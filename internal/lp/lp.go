@@ -11,54 +11,79 @@
 // to validate the float engine and by callers that need exact optima on
 // small programs.
 //
-// # Sparse representation
+// # Sparse representation and factorized basis
 //
 // The float engine is a revised simplex: constraint rows are kept verbatim
 // in compressed sparse form (a per-row column/value list, mirrored by a
-// per-column view for FTRAN), logical columns are signed unit vectors that
-// are never materialized, and all pivoting state lives in an explicit basis
-// inverse of size m×m (m = constraint rows). Nothing of size n×m is ever
-// stored or scanned: entering columns are formed by FTRAN against the
-// column's sparse entries, and the pivot row is priced by sweeping only the
-// sparse rows that meet the leaving row's inverse row. For cut-generation
-// masters — few dense-ish rows over very many variables, the shape of the
-// active-time LP1 at large horizons — per-pivot work is O(m² + nnz) instead
-// of the dense engine's O(m·n).
+// per-column view), and logical columns are signed unit vectors that are
+// never materialized. All pivoting state lives in a factorized basis
+// representation (factor.go): a sparse LU of the basis — refactorized with
+// a static Markowitz-style column ordering and threshold partial pivoting —
+// plus a product-form eta file holding one sparse eta operation per basis
+// change since. Every former B⁻¹·v product is an FTRAN (triangular solves
+// through L and U, then the eta file) and every vᵀ·B⁻¹ product a BTRAN
+// (the same chain transposed, in reverse), so per-pivot work is
+// O(m + nnz(L+U) + nnz(etas) + nnz of the priced rows) — nothing of size
+// m² or n×m is ever stored, written or scanned. The dense-inverse
+// predecessor's O(m²) rank-one updates capped the Benders master near a
+// thousand rows; the factorized core carries the same pipeline to tens of
+// thousands.
+//
+// The eta file is folded into a fresh LU when it reaches maxEtas
+// operations or etaBloat times the factor size, after every append or
+// removal of rows, and on every resync; each refactorization immediately
+// re-derives the basic values and reduced costs so the incremental state
+// never disagrees with the factors. The dual ratio test orders its
+// candidates by ratio with Harris-style tie-breaking (largest pivot
+// magnitude within a tie): covering masters are massively dual degenerate,
+// and index-order tie-breaking measurably sent the bound-flipping walk
+// into dual-progress-free flip storms at large horizons.
 //
 // The engine handles variable upper bounds natively (nonbasic variables may
 // sit at either bound, and the ratio test admits bound flips), so callers
 // never pay a constraint row for a box constraint; single-variable
 // "x_j <= u" rows are also presolved into bounds. It supports incremental
 // re-solves: ResolveFrom keeps the factorized state alive between calls,
-// incorporates rows appended to the Problem since the previous solve by a
-// bordered extension of the basis inverse, and recovers optimality with the
+// incorporates rows appended to the Problem since the previous solve (one
+// refactorization at the new dimension), and recovers optimality with the
 // dual simplex instead of re-running two-phase simplex from scratch. The
 // pricing loop maintains a persistent reduced-cost row updated in place at
-// each pivot (refreshed periodically against drift), so steady-state
-// pivoting performs no allocations.
+// each pivot (refreshed periodically against drift), and the factor arenas
+// are reused across refactorizations, so steady-state pivoting performs no
+// allocations.
 //
 // # Warm-start contract
 //
 // A *Basis returned by ResolveFrom stays valid for the same Problem as long
-// as only new constraint rows are appended (AddSparse/AddDense) between
-// calls: the previous optimal basis remains dual feasible, and each new row
-// enters with its own basic slack. Changing the objective between re-solves
-// is also permitted (the final primal clean-up phase re-optimizes). A warm
-// re-solve falls back to a cold two-phase solve only when the caller passes
-// a nil Basis — which is also what callers must do after any solve that did
-// not end Optimal, since non-optimal solves return no Basis. Adding
-// variables or changing bounds invalidates the basis: ResolveFrom rejects
-// such calls loudly instead of silently solving against stale state, and
-// the caller re-solves cold.
+// as only new constraint rows are appended (AddSparse/AddDense) or rows
+// strictly slack at the last optimum are removed (RemoveRows, which excises
+// them from both the problem and the live state — the primitive behind
+// Benders cut purging) between calls: appended rows enter with their own
+// basic slack, and removing a slack row disturbs neither the remaining
+// duals nor any remaining basic value. Changing the objective between
+// re-solves is also permitted (the final primal clean-up phase
+// re-optimizes). A warm re-solve falls back to a cold two-phase solve only
+// when the caller passes a nil Basis — which is also what callers must do
+// after any solve that did not end Optimal, since non-optimal solves return
+// no Basis. Adding variables or changing bounds invalidates the basis:
+// ResolveFrom rejects such calls loudly instead of silently solving against
+// stale state, and the caller re-solves cold.
+//
+// The exact rational engine mirrors the contract on a smaller surface:
+// ResolveExactFrom keeps the big.Rat dictionary alive between calls,
+// repairs appended LE/GE rows with an exact Bland dual simplex, and falls
+// back to a cold rational solve for anything else.
 //
 // # Numerical safeguards
 //
 // Optimality is never certified against a stale reduced-cost row (a full
 // refresh precedes the claim), and dual infeasibility is never certified
 // from drifted state: before reporting it, the engine refactorizes the
-// basis inverse from scratch (Gauss-Jordan with partial pivoting), resyncs
-// every basic value, and re-tries. The dense predecessor lacked that
-// safeguard and mis-reported feasible masters as infeasible past
+// basis from scratch, resyncs every basic value, and re-tries. Every
+// returned optimum is verified against the caller's own rows to 1e-6 as
+// the last line of defense — a warm solve that fails any of this falls
+// back to a verified cold solve. The dense predecessor lacked these
+// safeguards and mis-reported feasible masters as infeasible past
 // T ≈ 1000 slots.
 //
 // Go has no mature linear-programming library, so this package is built as
@@ -129,6 +154,11 @@ type Problem struct {
 	rows    [][]entry
 	rel     []Relation
 	b       []float64
+	// removeEpoch counts RemoveRows calls. Engine states snapshot it so a
+	// warm re-solve can reject a basis that missed a removal — a pure
+	// row-count comparison cannot tell remove-k-then-append-k from
+	// append-only.
+	removeEpoch int
 }
 
 type entry struct {
@@ -173,6 +203,23 @@ func (p *Problem) Upper(j int) float64 {
 	return p.upper[j]
 }
 
+// upperChanged compares the problem's current bounds against a snapshot
+// taken when an engine state was captured, reporting the first variable
+// whose bound differs. Both the float and the exact warm-start contracts
+// reject bound changes through this single check.
+func (p *Problem) upperChanged(snap []float64) (j int, changed bool) {
+	for j := range snap {
+		want := math.Inf(1)
+		if p.upper != nil {
+			want = p.upper[j]
+		}
+		if snap[j] != want {
+			return j, true
+		}
+	}
+	return 0, false
+}
+
 // AddSparse adds the constraint sum_k coeffs[k].val * x[coeffs[k].col] rel rhs.
 // Coefficient columns must be valid variable indices; duplicate columns are
 // summed.
@@ -210,6 +257,63 @@ func (p *Problem) AddDense(coeffs []float64, rel Relation, rhs float64) error {
 	return p.AddSparse(cols, vals, rel, rhs)
 }
 
+// RemoveRows deletes the constraint rows at the given indices (indices into
+// the problem's current row order; duplicates are tolerated). Row indices
+// above the removed ones shift down, exactly like deleting from a slice.
+//
+// With a nil basis only the problem is edited and any previously captured
+// basis becomes invalid (ResolveFrom rejects it as out of sync, via a
+// removal epoch the basis snapshots — row counts alone cannot tell
+// remove-then-append from append-only). With the
+// basis of this problem's latest Optimal (re)solve, the rows are also
+// excised from the live simplex state in place: this is legal only for rows
+// that are strictly slack at that optimum (their slack column is basic), in
+// which case the remaining state is still optimal for the reduced problem
+// and the next ResolveFrom only pays one refactorization. Attempting to
+// remove a tight row fails with an error before anything is mutated.
+//
+// This is the primitive behind Benders cut purging: a persistently slack
+// cut has a basic slack by definition, so purging between rounds never
+// pays the purge-and-rebuild cost of a cold re-solve.
+func (p *Problem) RemoveRows(drop []int, basis *Basis) error {
+	if len(drop) == 0 {
+		return nil
+	}
+	for _, i := range drop {
+		if i < 0 || i >= len(p.rows) {
+			return fmt.Errorf("lp: RemoveRows index %d out of range [0,%d)", i, len(p.rows))
+		}
+	}
+	if basis != nil && basis.t != nil {
+		if basis.t.rowsBuilt != len(p.rows) {
+			return errors.New("lp: basis is out of sync with the problem; re-solve before removing rows")
+		}
+		if err := basis.t.removeRows(drop); err != nil {
+			return err // nothing mutated; the basis stays valid
+		}
+	}
+	p.removeEpoch++
+	if basis != nil && basis.t != nil {
+		basis.t.epoch = p.removeEpoch // this basis saw the removal
+	}
+	dead := make([]bool, len(p.rows))
+	for _, i := range drop {
+		dead[i] = true
+	}
+	out := 0
+	for i := range p.rows {
+		if dead[i] {
+			continue
+		}
+		p.rows[out], p.rel[out], p.b[out] = p.rows[i], p.rel[i], p.b[i]
+		out++
+	}
+	p.rows = p.rows[:out]
+	p.rel = p.rel[:out]
+	p.b = p.b[:out]
+	return nil
+}
+
 // Solution is the result of a float64 solve.
 type Solution struct {
 	Status    Status
@@ -221,6 +325,12 @@ type Solution struct {
 	// rounds that end without a pivot are not counted, so summing Iterations
 	// across a cut-generation loop never double-counts work.
 	Iterations int
+	// Refactors counts basis refactorizations performed during the call:
+	// the sparse-LU rebuilds triggered by appended or removed rows, by the
+	// eta file reaching its length or fill limit, and by drift resyncs.
+	// Together with Iterations it is the solver-effort figure the scaling
+	// experiments report.
+	Refactors int
 }
 
 const (
@@ -281,18 +391,16 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 		if t.rowsBuilt > len(p.rows) {
 			return nil, nil, errors.New("lp: problem has fewer rows than the basis (rows were removed)")
 		}
+		if t.epoch != p.removeEpoch {
+			return nil, nil, errors.New("lp: rows were removed without this basis (RemoveRows with a nil or different basis); re-solve cold")
+		}
 		// Changed bounds invalidate the basis (see the warm-start contract);
 		// catch the misuse instead of returning a silently wrong optimum.
-		for j := 0; j < t.n; j++ {
-			want := math.Inf(1)
-			if p.upper != nil {
-				want = p.upper[j]
-			}
-			if t.probUpper[j] != want {
-				return nil, nil, fmt.Errorf("lp: upper bound of variable %d changed since the basis was captured; re-solve cold", j)
-			}
+		if j, changed := p.upperChanged(t.probUpper); changed {
+			return nil, nil, fmt.Errorf("lp: upper bound of variable %d changed since the basis was captured; re-solve cold", j)
 		}
 		t.pivotsAtCall = t.pivots
+		t.refactorsAtCall = t.refactors
 		copy(t.cost[:t.n], p.c) // pick up objective changes since the snapshot
 		t.appendProblemRows(p)
 		// A warm repair of freshly appended rows needs tens of pivots; give
@@ -318,6 +426,7 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 			// prior state. Iterations still reports every pivot spent in
 			// this call, warm and cold.
 			warmPivots := t.pivots - t.pivotsAtCall
+			warmRefactors := t.refactors - t.refactorsAtCall
 			t = newRevised(p)
 			budget = maxPivots
 			status = t.runTwoPhase(&budget)
@@ -325,9 +434,14 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 				status = t.verifyOptimal(p, &budget)
 			}
 			t.pivotsAtCall = -warmPivots
+			t.refactorsAtCall = -warmRefactors
 		}
 	}
-	sol := &Solution{Status: status, Iterations: t.pivots - t.pivotsAtCall}
+	sol := &Solution{
+		Status:     status,
+		Iterations: t.pivots - t.pivotsAtCall,
+		Refactors:  t.refactors - t.refactorsAtCall,
+	}
 	if status != Optimal {
 		return sol, nil, nil
 	}

@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"fmt"
 	"math"
 	"slices"
 	"sort"
@@ -11,33 +12,39 @@ import (
 // Unlike the dense tableau it replaced, the constraint matrix is never
 // transformed: rows are stored once in sign-normalized compressed sparse
 // form (plus a per-column view for FTRAN), and all pivoting state lives in
-// an explicit basis inverse binv updated in place at each basis change.
-// Logical columns (slacks, surpluses, artificials) are signed unit vectors
-// and are never materialized. As in the dense engine, xB holds the actual
-// value of each row's basic variable — not a transformed right-hand side —
-// which keeps the bookkeeping correct when nonbasic variables rest at
-// nonzero upper bounds.
+// the factorized basis representation f — a sparse LU of the basis as of
+// the last refactorization plus a product-form eta file, one eta per basis
+// change (see factor.go). Logical columns (slacks, surpluses, artificials)
+// are signed unit vectors and are never materialized. xB holds the actual
+// value of each basic variable — not a transformed right-hand side — which
+// keeps the bookkeeping correct when nonbasic variables rest at nonzero
+// upper bounds.
 //
 // Per pivot the engine performs:
 //
-//   - an FTRAN (w = B⁻¹·A_q) against the entering column's sparse entries,
-//     O(m·nnz(A_q));
-//   - a pivot-row sweep alpha = rho·A over the sparse rows touching the
-//     leaving row's inverse row rho, accumulating into a touched-column
-//     list, O(Σ nnz of touched rows) — this is what prices cuts without
-//     ever scanning a dense row of length n;
-//   - a rank-one update of binv and the persistent reduced-cost row,
-//     O(m²) + O(|touched|), allocation-free in steady state.
+//   - an FTRAN (w = B⁻¹·A_q): the entering column's sparse entries solved
+//     through L, U and the eta file, O(m + nnz(factors));
+//   - a BTRAN (rho = e_rᵀ·B⁻¹) for the leaving row when the dual ratio test
+//     or the reduced-cost update needs the pivot row;
+//   - a pivot-row sweep alpha = rho·A over the sparse rows touching rho,
+//     accumulating into a touched-column list, O(Σ nnz of touched rows) —
+//     this is what prices cuts without ever scanning a dense row of
+//     length n;
+//   - an eta-file append of nnz(w) entries plus an O(|touched|) in-place
+//     reduced-cost update — nothing of size m² is ever written.
 //
-// Numerical drift is controlled exactly as documented in the package
-// comment: the reduced-cost row is refreshed periodically and before any
-// optimality claim, and a conclusion of dual infeasibility is only accepted
-// after a full refactorization (binv rebuilt from the basis columns by
-// Gauss-Jordan elimination) plus a basic-value resync confirms it.
+// The eta file is folded into a fresh LU when it grows past maxEtas
+// operations or etaBloat times the factor size, when rows are appended or
+// removed (factorStale), and on every resync. Numerical drift is controlled
+// exactly as documented in the package comment: the reduced-cost row is
+// refreshed periodically and before any optimality claim, and a conclusion
+// of dual infeasibility is only accepted after a full refactorization plus
+// a basic-value resync confirms it.
 type revised struct {
 	n         int // structural variables
 	m         int // materialized rows
 	rowsBuilt int // Problem rows incorporated (including presolved-away ones)
+	epoch     int // Problem.removeEpoch this state last synchronized with
 
 	// Constraint matrix, sign-normalized per row (rows with negative rhs
 	// are flipped at build time; warm-appended GE rows are negated so their
@@ -52,9 +59,13 @@ type revised struct {
 	logRow  []int32   // per logical column (index col-n): owning row
 	logSign []float64 // +1 slack/artificial, -1 surplus
 
-	binv  [][]float64 // dense m×m basis inverse, row-major
-	basis []int       // basic column of each row
-	xB    []float64   // value of the basic variable of each row
+	f           factor // LU + eta-file basis representation (see factor.go)
+	factorStale bool   // basis structure changed; refactorize before solving
+	broken      bool   // refactorization failed; only IterLimit may be reported
+	probRow     []int32 // per Problem row: engine row, or -1 if presolved away
+
+	basis []int     // basic column of each basis position
+	xB    []float64 // value of the basic variable at each position
 
 	// Per-column state, structural columns first, then logical columns in
 	// materialization order.
@@ -81,10 +92,23 @@ type revised struct {
 	touched []int32    // columns with nonzero alpha this pivot
 	cands   []dualCand // dual ratio-test candidates, reused across pivots
 
-	pivots       int // lifetime pivot count
-	pivotsAtCall int // pivot count when the current ResolveFrom began
-	sinceRefresh int
+	pivots          int // lifetime pivot count
+	pivotsAtCall    int // pivot count when the current ResolveFrom began
+	refactors       int // lifetime successful refactorizations
+	refactorsAtCall int // refactorization count when the current call began
+	sinceRefresh    int
 }
+
+// Refactorization policy: fold the eta file into a fresh LU when it holds
+// maxEtas operations (bounding both solve cost and accumulated update
+// error), or earlier when its nonzeros dwarf the factors themselves
+// (etaBloat × (nnz(LU) + m)) — dense-ish pivot columns on covering masters
+// can bloat the file long before the operation count trips.
+const (
+	maxEtas  = 96
+	etaBloat = 8
+)
+
 
 // newRevised builds the initial state. Singleton "a*x_j <= b" rows with
 // a > 0, b >= 0 are presolved into the variable's upper bound (and vacuous
@@ -145,6 +169,7 @@ func newRevised(p *Problem) *revised {
 	t := &revised{
 		n:          n,
 		rowsBuilt:  m,
+		epoch:      p.removeEpoch,
 		rowCols:    make([][]int32, 0, rowCap),
 		rowVals:    make([][]float64, 0, rowCap),
 		rowLogs:    make([][]int32, 0, rowCap),
@@ -153,7 +178,7 @@ func newRevised(p *Problem) *revised {
 		colVals:    make([][]float64, n),
 		logRow:     make([]int32, 0, colCap-n),
 		logSign:    make([]float64, 0, colCap-n),
-		binv:       make([][]float64, 0, rowCap),
+		probRow:    make([]int32, 0, rowCap),
 		basis:      make([]int, 0, rowCap),
 		xB:         make([]float64, 0, rowCap),
 		cost:       make([]float64, nTotal, colCap),
@@ -190,6 +215,7 @@ func newRevised(p *Problem) *revised {
 	logCol := n
 	for i := range p.rows {
 		if kinds[i].skip {
+			t.probRow = append(t.probRow, -1)
 			continue
 		}
 		sign := 1.0
@@ -226,32 +252,81 @@ func newRevised(p *Problem) *revised {
 			bas = addLog(1, true)
 		}
 		t.rowLogs = append(t.rowLogs, logs)
-		row := make([]float64, r+1, rowCap)
-		row[r] = 1
-		// binv rows must all have length m; grow previous rows below once m
-		// is known, so build identity incrementally instead.
-		t.binv = append(t.binv, row)
+		t.probRow = append(t.probRow, int32(r))
 		t.basis = append(t.basis, bas)
 		t.xB = append(t.xB, sign*p.b[i])
 		t.inBasis[bas] = true
 		t.whereBasic[bas] = r
 		t.m++
 	}
-	// Square up the identity: every binv row gets length m.
-	for i := range t.binv {
-		row := t.binv[i]
-		for len(row) < t.m {
-			row = append(row, 0)
-		}
-		t.binv[i] = row
-	}
+	// The initial all-logical basis factorizes trivially; do it lazily at
+	// the first solve entry like any other structural change.
+	t.factorStale = true
 	return t
+}
+
+// basisColNNZ reports the nonzero count of the basic column at position p
+// (the refactorization's static Markowitz-style ordering key).
+func (t *revised) basisColNNZ(p int) int {
+	if c := t.basis[p]; c < t.n {
+		return len(t.colRows[c])
+	}
+	return 1
+}
+
+// scatterBasisColumn adds the sparse entries of the basic column at
+// position p into the engine-row-indexed accumulator x, implementing the
+// factorization's basisMatrix source without per-column closures.
+func (t *revised) scatterBasisColumn(p int, x []float64, patt []int32) []int32 {
+	c := t.basis[p]
+	if c < t.n {
+		rows, vals := t.colRows[c], t.colVals[c]
+		for k, r := range rows {
+			if x[r] == 0 && vals[k] != 0 {
+				patt = append(patt, r)
+			}
+			x[r] += vals[k]
+		}
+		return patt
+	}
+	r := t.logRow[c-t.n]
+	if x[r] == 0 {
+		patt = append(patt, r)
+	}
+	x[r] += t.logSign[c-t.n]
+	return patt
+}
+
+// factorizeNow rebuilds the LU factorization from the current basis columns,
+// dropping the eta file. On numerical singularity the representation is lost
+// and the state is marked broken: every iterate loop then reports IterLimit,
+// which the caller turns into a cold re-solve (or a loud non-optimum) — a
+// broken state never certifies optimality or infeasibility.
+func (t *revised) factorizeNow() bool {
+	if t.f.refactorize(t.m, t) {
+		t.factorStale = false
+		t.broken = false
+		t.refactors++
+		return true
+	}
+	t.broken = true
+	return false
+}
+
+// ensureFactor makes the factorization match the current basis structure,
+// refactorizing if rows were appended or removed since the last solve.
+func (t *revised) ensureFactor() bool {
+	if !t.factorStale {
+		return !t.broken
+	}
+	return t.factorizeNow()
 }
 
 // dualCand is one eligible entering column of the bounded dual ratio test.
 type dualCand struct {
 	col   int32
 	ratio float64
+	mag   float64 // |pivot element|, the tie-breaking key
 }
 
 // pivTol is the minimum magnitude accepted for a dual pivot element.
@@ -343,29 +418,24 @@ func (t *revised) setPhaseCost(phase1 bool) {
 }
 
 // refreshRed recomputes the basic values and the reduced-cost row from the
-// basis inverse: xB = B⁻¹(b − N·x_N), then the duals y = c_B·B⁻¹, then
-// red_j = c_j - y·A_j via one sweep over the sparse rows. Re-deriving xB
-// together with red keeps the incremental per-pivot updates from drifting
-// apart between refreshes.
+// factorized basis: xB = B⁻¹(b − N·x_N) by FTRAN, then the duals
+// y = c_B·B⁻¹ by BTRAN, then red_j = c_j - y·A_j via one sweep over the
+// sparse rows. Re-deriving xB together with red keeps the incremental
+// per-pivot updates from drifting apart between refreshes.
 func (t *revised) refreshRed() {
+	if !t.ensureFactor() {
+		t.sinceRefresh = 0
+		return
+	}
 	t.refreshXB()
 	nTotal := len(t.curCost)
 	t.red = t.red[:nTotal]
 	copy(t.red, t.curCost)
 	y := t.y[:t.m]
-	for k := range y {
-		y[k] = 0
-	}
 	for i := 0; i < t.m; i++ {
-		cb := t.curCost[t.basis[i]]
-		if cb == 0 {
-			continue
-		}
-		bi := t.binv[i]
-		for k := 0; k < t.m; k++ {
-			y[k] += cb * bi[k]
-		}
+		y[i] = t.curCost[t.basis[i]]
 	}
+	t.f.btran(y)
 	for i := 0; i < t.m; i++ {
 		yi := y[i]
 		if yi == 0 {
@@ -383,25 +453,34 @@ func (t *revised) refreshRed() {
 	t.sinceRefresh = 0
 }
 
-// ftran computes w = B⁻¹·A_col into t.w using the column's sparse entries.
+// ftran computes w = B⁻¹·A_col into t.w: the column's sparse entries are
+// scattered into the row-space right-hand side and solved through the
+// factorization.
 func (t *revised) ftran(col int) {
 	w := t.w[:t.m]
+	for i := range w {
+		w[i] = 0
+	}
 	if col < t.n {
 		rows, vals := t.colRows[col], t.colVals[col]
-		for i := 0; i < t.m; i++ {
-			bi := t.binv[i]
-			var s float64
-			for k, r := range rows {
-				s += bi[r] * vals[k]
-			}
-			w[i] = s
+		for k, r := range rows {
+			w[r] = vals[k]
 		}
-		return
+	} else {
+		w[t.logRow[col-t.n]] = t.logSign[col-t.n]
 	}
-	r, s := t.logRow[col-t.n], t.logSign[col-t.n]
-	for i := 0; i < t.m; i++ {
-		w[i] = t.binv[i][r] * s
+	t.f.ftran(w)
+}
+
+// btranRho computes rho = e_rowᵀ·B⁻¹ (the pivot row of the inverse) into
+// t.rho by a BTRAN of the position-space unit vector.
+func (t *revised) btranRho(row int) {
+	rho := t.rho[:t.m]
+	for i := range rho {
+		rho[i] = 0
 	}
+	rho[row] = 1
+	t.f.btran(rho)
 }
 
 // pivotRowAlpha accumulates alpha_j = rho·A_j for every column with a
@@ -443,15 +522,15 @@ func (t *revised) clearAlpha() {
 
 // applyPivot performs the basis change on (row, col): the entering column
 // moves by delta in direction dir (+1 from its lower bound, -1 from its
-// upper bound), every basic value is stepped, binv receives its rank-one
-// update, the persistent reduced-cost row is updated from the pre-pivot
-// pivot row, and the leaving variable settles at its upper bound when
-// toUpper is true, else at zero.
+// upper bound), every basic value is stepped, the eta file receives the
+// pivot column, the persistent reduced-cost row is updated from the
+// pre-pivot pivot row, and the leaving variable settles at its upper bound
+// when toUpper is true, else at zero.
 //
 // t.w must hold the FTRAN of the entering column. When alphaReady is true
-// the caller has already filled t.alpha/t.touched from binv[row] (the dual
-// path computes it for the ratio test); otherwise applyPivot computes it.
-// Either way the accumulator is drained before returning.
+// the caller has already filled t.alpha/t.touched from the pivot row (the
+// dual path computes it for the ratio test); otherwise applyPivot computes
+// it with a BTRAN. Either way the accumulator is drained before returning.
 func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alphaReady bool) {
 	w := t.w[:t.m]
 	if delta != 0 {
@@ -470,7 +549,7 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 	}
 
 	if !alphaReady {
-		copy(t.rho[:t.m], t.binv[row])
+		t.btranRho(row)
 		t.pivotRowAlpha(t.rho[:t.m])
 	}
 	if f := t.red[col]; f != 0 {
@@ -487,25 +566,9 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 		t.clearAlpha()
 	}
 
-	// Rank-one update of the inverse.
-	pr := t.binv[row]
-	inv := 1 / w[row]
-	for k := 0; k < t.m; k++ {
-		pr[k] *= inv
-	}
-	for i := 0; i < t.m; i++ {
-		if i == row {
-			continue
-		}
-		f := w[i]
-		if f == 0 {
-			continue
-		}
-		bi := t.binv[i]
-		for k := 0; k < t.m; k++ {
-			bi[k] -= f * pr[k]
-		}
-	}
+	// Record the basis change in the eta file instead of a dense rank-one
+	// inverse update: O(nnz(w)) written, nothing of size m².
+	t.f.pushEta(row, w)
 
 	leave := t.basis[row]
 	t.inBasis[leave] = false
@@ -521,6 +584,17 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 	t.xB[row] = enterVal
 	t.pivots++
 	t.sinceRefresh++
+	// Fold the eta file into a fresh LU before it dominates solve cost or
+	// accumulates drift. The basis bookkeeping above is already final, so
+	// the refactorization sees exactly the post-pivot basis. The basic
+	// values and reduced costs are re-derived immediately: they carry the
+	// eta-era incremental updates, and letting them disagree with the
+	// fresh factors makes the dual ratio test chase phantom violations.
+	if t.f.etas() >= maxEtas || t.f.etaNNZ() > etaBloat*(t.f.luNNZ+t.m) {
+		if t.factorizeNow() {
+			t.refreshRed()
+		}
+	}
 }
 
 // accumulateFlip records a bound flip of column col (moving by u in
@@ -538,18 +612,17 @@ func (t *revised) accumulateFlip(col int, dir, u float64) {
 	t.flipAcc[t.logRow[col-t.n]] += d * t.logSign[col-t.n]
 }
 
-// applyFlips applies xB -= B⁻¹·flipAcc and clears the accumulator.
+// applyFlips applies xB -= B⁻¹·flipAcc with one FTRAN and clears the
+// accumulator.
 func (t *revised) applyFlips() {
 	acc := t.flipAcc[:t.m]
+	s := t.y[:t.m] // free outside refreshes
+	copy(s, acc)
+	t.f.ftran(s)
 	for i := 0; i < t.m; i++ {
-		bi := t.binv[i]
-		var s float64
-		for k, a := range acc {
-			if a != 0 {
-				s += bi[k] * a
-			}
+		if s[i] != 0 {
+			t.xB[i] -= s[i]
 		}
-		t.xB[i] -= s
 	}
 	for k := range acc {
 		acc[k] = 0
@@ -578,7 +651,7 @@ func (t *revised) primalIterate(phase1 bool, budget *int) Status {
 	t.refreshRed()
 	blandFrom := *budget / 2 // switch to Bland's rule for the second half
 	for iter := 0; ; iter++ {
-		if *budget <= 0 {
+		if *budget <= 0 || t.broken {
 			return IterLimit
 		}
 		*budget--
@@ -695,7 +768,7 @@ func (t *revised) dualIterate(budget *int) Status {
 	blandFrom := *budget / 2
 	resynced := false
 	for iter := 0; ; iter++ {
-		if *budget <= 0 {
+		if *budget <= 0 || t.broken {
 			return IterLimit
 		}
 		*budget--
@@ -729,7 +802,7 @@ func (t *revised) dualIterate(budget *int) Status {
 		if above {
 			sign = -1.0
 		}
-		copy(t.rho[:t.m], t.binv[row])
+		t.btranRho(row)
 		t.pivotRowAlpha(t.rho[:t.m])
 		// Entering: bounded dual ratio test with bound flips. Candidates
 		// are visited in increasing dual-ratio order (ties by column index,
@@ -765,16 +838,51 @@ func (t *revised) dualIterate(budget *int) Status {
 			if ratio < 0 {
 				ratio = 0
 			}
-			cands = append(cands, dualCand{col: int32(j), ratio: ratio})
+			cands = append(cands, dualCand{col: int32(j), ratio: ratio, mag: math.Abs(a)})
 		}
 		t.cands = cands
+		// Candidates in increasing dual-ratio order. Covering masters are
+		// massively dual degenerate — at an integral optimum most reduced
+		// costs are exactly zero, so whole swathes of candidates tie at
+		// ratio zero. Within a ratio tie the walk prefers the largest pivot
+		// magnitude (Harris-style): each flipped candidate then absorbs the
+		// most violation per flip and the eventual pivot element is large.
+		// Breaking ties by column index instead sends the walk through long
+		// chains of dual-progress-free flips that reshuffle every
+		// overlapping cut row — measured on the T=4096 scaling family, that
+		// turned warm dual repairs of ~10² pivots into 10⁴-pivot
+		// infeasibility storms.
 		slices.SortFunc(cands, func(a, b dualCand) int {
+			const tieTol = 1e-9 // ratios below this are the degenerate bucket
+			ra, rb := a.ratio, b.ratio
+			if ra <= tieTol {
+				ra = 0
+			}
+			if rb <= tieTol {
+				rb = 0
+			}
 			switch {
-			case a.ratio < b.ratio:
+			case ra < rb:
 				return -1
-			case a.ratio > b.ratio:
+			case ra > rb:
+				return 1
+			case a.mag > b.mag:
+				return -1
+			case a.mag < b.mag:
 				return 1
 			default:
+				// Integer-data masters tie on magnitude too; a mixed
+				// (still deterministic) index order decorrelates the
+				// flip walk from the master's column layout, which
+				// index order re-correlates into coherent flip storms.
+				ha := uint32(a.col) * 2654435761
+				hb := uint32(b.col) * 2654435761
+				switch {
+				case ha < hb:
+					return -1
+				case ha > hb:
+					return 1
+				}
 				return int(a.col) - int(b.col)
 			}
 		})
@@ -829,11 +937,15 @@ func (t *revised) dualIterate(budget *int) Status {
 		}
 		if col < 0 {
 			t.clearAlpha()
-			// Rebuild the inverse and resync before believing drifted state;
-			// the retry re-enters the loop with clean numbers.
+			// Refactorize and resync before believing drifted state; the
+			// retry re-enters the loop with clean numbers. A failed
+			// refactorization leaves nothing to certify infeasibility with.
 			if !resynced && t.resync() {
 				resynced = true
 				continue
+			}
+			if t.broken {
+				return IterLimit
 			}
 			return Infeasible
 		}
@@ -886,7 +998,7 @@ func (t *revised) driveOutArtificials() {
 		if !t.isArt[t.basis[i]] {
 			continue
 		}
-		copy(t.rho[:t.m], t.binv[i])
+		t.btranRho(i)
 		t.pivotRowAlpha(t.rho[:t.m])
 		slices.Sort(t.touched)
 		col := -1
@@ -910,71 +1022,16 @@ func (t *revised) driveOutArtificials() {
 	}
 }
 
-// resync rebuilds binv from the basis columns by Gauss-Jordan elimination
-// with partial pivoting, then recomputes every basic value and the
-// reduced-cost row from the fresh inverse. It reports false when the basis
-// matrix is numerically singular (the caller then has to trust the drifted
-// state). It allocates; it runs only on the rare
-// about-to-declare-infeasible path, never per pivot.
+// resync refactorizes the basis from scratch — the eta file, the carrier of
+// all accumulated update error, is dropped and the LU rebuilt from the basis
+// columns — then recomputes every basic value and the reduced-cost row from
+// the fresh factors. It reports false when the basis matrix is numerically
+// singular (the state is then broken and only IterLimit may be reported).
 func (t *revised) resync() bool {
-	m := t.m
-	// Dense B: column k is the constraint column of basis[k].
-	b := make([][]float64, m)
-	inv := make([][]float64, m)
-	for i := range b {
-		b[i] = make([]float64, m)
-		inv[i] = make([]float64, m)
-		inv[i][i] = 1
+	if !t.factorizeNow() {
+		return false
 	}
-	for k := 0; k < m; k++ {
-		col := t.basis[k]
-		if col < t.n {
-			rows, vals := t.colRows[col], t.colVals[col]
-			for q, r := range rows {
-				b[r][k] = vals[q]
-			}
-		} else {
-			b[t.logRow[col-t.n]][k] = t.logSign[col-t.n]
-		}
-	}
-	for k := 0; k < m; k++ {
-		piv, best := -1, 1e-11
-		for i := k; i < m; i++ {
-			if a := math.Abs(b[i][k]); a > best {
-				piv, best = i, a
-			}
-		}
-		if piv < 0 {
-			return false
-		}
-		b[k], b[piv] = b[piv], b[k]
-		inv[k], inv[piv] = inv[piv], inv[k]
-		f := 1 / b[k][k]
-		for j := 0; j < m; j++ {
-			b[k][j] *= f
-			inv[k][j] *= f
-		}
-		for i := 0; i < m; i++ {
-			if i == k {
-				continue
-			}
-			g := b[i][k]
-			if g == 0 {
-				continue
-			}
-			for j := 0; j < m; j++ {
-				b[i][j] -= g * b[k][j]
-				inv[i][j] -= g * inv[k][j]
-			}
-		}
-	}
-	// inv now maps row space to basis coordinates: B·X = I row-wise, i.e.
-	// X = B⁻¹ — exactly the shape binv stores (row i of binv is the i-th
-	// basis coordinate functional).
-	for i := 0; i < m; i++ {
-		copy(t.binv[i][:m], inv[i])
-	}
-	t.refreshRed() // also re-derives xB from the fresh inverse
+	t.refreshRed() // also re-derives xB from the fresh factors
 	return true
 }
 
@@ -1063,12 +1120,9 @@ func (t *revised) refreshXB() {
 			r[t.logRow[j-t.n]] -= t.logSign[j-t.n] * u
 		}
 	}
+	t.f.ftran(r)
 	for i := 0; i < m; i++ {
-		bi := t.binv[i]
-		var s float64
-		for k := 0; k < m; k++ {
-			s += bi[k] * r[k]
-		}
+		s := r[i]
 		if s < 0 && s > -1e-9 {
 			s = 0
 		}
@@ -1125,21 +1179,10 @@ func (t *revised) growCols(k int) {
 	}
 }
 
-// growRows makes room for one more row: every binv row gets one more
-// (zero) column and the row-sized scratch vectors are extended.
+// growRows makes room for one more row: the row-sized scratch vectors are
+// extended (the factorization is rebuilt at the new dimension separately).
 func (t *revised) growRows() {
 	nm := t.m + 1
-	for i := range t.binv {
-		row := t.binv[i]
-		if cap(row) < nm {
-			r2 := make([]float64, len(row), nm+nm/4+16)
-			copy(r2, row)
-			row = r2
-		}
-		row = row[:nm]
-		row[nm-1] = 0
-		t.binv[i] = row
-	}
 	growF := func(s []float64) []float64 {
 		if cap(s) < nm {
 			s2 := make([]float64, len(s), nm+nm/4+16)
@@ -1158,10 +1201,9 @@ func (t *revised) growRows() {
 // was last solved. Each row gets a fresh slack column that enters the basis
 // immediately, with its value computed from the current structural point,
 // so a violated cut simply surfaces as a bound-infeasible basic slack for
-// the dual simplex to repair. Unlike the dense engine, appended rows are
-// stored verbatim — the basis inverse is extended by one bordered row
-// instead of eliminating the new row against the dictionary, so appends
-// introduce no compounding transformation error.
+// the dual simplex to repair. Appended rows are stored verbatim and the
+// factorization is rebuilt once at the new dimension before the next solve
+// — appends introduce no compounding transformation error.
 func (t *revised) appendProblemRows(p *Problem) {
 	if t.rowsBuilt == len(p.rows) {
 		return
@@ -1171,6 +1213,7 @@ func (t *revised) appendProblemRows(p *Problem) {
 		t.appendRow(p.rows[r], p.rel[r], p.b[r], xs)
 	}
 	t.rowsBuilt = len(p.rows)
+	t.factorStale = true
 }
 
 func (t *revised) appendRow(row []entry, rel Relation, b float64, xs []float64) {
@@ -1206,33 +1249,196 @@ func (t *revised) appendRow(row []entry, rel Relation, b float64, xs []float64) 
 		t.colRows[c] = append(t.colRows[c], int32(i))
 		t.colVals[c] = append(t.colVals[c], vals[k])
 	}
-	// Bordered extension of the inverse: the new basis is
-	// [[B, 0], [a_B, 1]], whose inverse is [[B⁻¹, 0], [−a_B·B⁻¹, 1]],
-	// where a_B holds the new row's coefficients on the current basic
-	// columns (structural only — the row references no other row's
-	// logicals).
 	t.growRows()
-	newRow := make([]float64, i+1, i+1+i/4+16)
-	for k, c := range cols {
-		if r := t.whereBasic[int(c)]; r >= 0 {
-			f := vals[k]
-			br := t.binv[r]
-			for q := 0; q < i; q++ {
-				newRow[q] -= f * br[q]
-			}
-		}
-	}
-	newRow[i] = 1
-	t.binv = append(t.binv, newRow)
 	ax := 0.0
 	for k, c := range cols {
 		ax += vals[k] * xs[c]
 	}
 	t.xB = append(t.xB, sign*b-ax)
 	t.basis = append(t.basis, s)
+	t.probRow = append(t.probRow, int32(i))
 	t.inBasis[s] = true
 	t.whereBasic[s] = i
 	t.m++
+}
+
+// removeRows excises the given problem rows from the live simplex state in
+// place. Legal only for rows whose slack/surplus/artificial column is
+// currently basic — for a zero-cost unit column e_r to be basic its dual
+// price must be zero (red = 0 − y_r), so dropping constraint row r together
+// with that basis member changes neither the remaining duals nor any
+// remaining basic value, and the cofactor expansion of det(B) along the
+// unit column shows the reduced basis stays nonsingular. The state is
+// therefore still optimal for the reduced problem; only the factorization
+// must be rebuilt, which the next solve does once.
+//
+// A row that is strictly slack at the current optimum always qualifies: a
+// nonbasic logical rests at a bound (zero, or a pinned upper of zero), so a
+// positive slack value forces the logical into the basis.
+func (t *revised) removeRows(drop []int) error {
+	// Validate every drop before mutating anything.
+	deadProb := make([]bool, len(t.probRow))
+	deadRow := make([]bool, t.m)
+	deadPos := make([]bool, t.m)
+	deadCol := make([]bool, len(t.cost))
+	for _, pr := range drop {
+		if pr < 0 || pr >= len(t.probRow) {
+			return fmt.Errorf("lp: RemoveRows index %d out of range [0,%d)", pr, len(t.probRow))
+		}
+		if deadProb[pr] {
+			continue
+		}
+		deadProb[pr] = true
+		er := t.probRow[pr]
+		if er < 0 {
+			continue // presolved away: nothing materialized to excise
+		}
+		basicLog := -1
+		for _, lc := range t.rowLogs[er] {
+			if t.inBasis[int(lc)] {
+				basicLog = int(lc)
+				break
+			}
+		}
+		if basicLog < 0 {
+			return fmt.Errorf("lp: row %d is tight at the current basis; only slack rows can be removed", pr)
+		}
+		deadRow[er] = true
+		deadPos[t.whereBasic[basicLog]] = true
+		for _, lc := range t.rowLogs[er] {
+			deadCol[int(lc)] = true
+		}
+	}
+
+	m := t.m
+	rowMap := make([]int32, m)
+	nr := 0
+	for r := 0; r < m; r++ {
+		if deadRow[r] {
+			rowMap[r] = -1
+		} else {
+			rowMap[r] = int32(nr)
+			nr++
+		}
+	}
+	nCols := len(t.cost)
+	colMap := make([]int32, nCols)
+	for j := 0; j < t.n; j++ {
+		colMap[j] = int32(j)
+	}
+	nc := t.n
+	for j := t.n; j < nCols; j++ {
+		if deadCol[j] {
+			colMap[j] = -1
+		} else {
+			colMap[j] = int32(nc)
+			nc++
+		}
+	}
+
+	// Row-indexed state (logical references remapped in place).
+	nr = 0
+	for r := 0; r < m; r++ {
+		if deadRow[r] {
+			continue
+		}
+		logs := t.rowLogs[r]
+		for k, lc := range logs {
+			logs[k] = colMap[lc]
+		}
+		t.rowCols[nr] = t.rowCols[r]
+		t.rowVals[nr] = t.rowVals[r]
+		t.rowLogs[nr] = logs
+		t.rhs[nr] = t.rhs[r]
+		nr++
+	}
+	t.rowCols = t.rowCols[:nr]
+	t.rowVals = t.rowVals[:nr]
+	t.rowLogs = t.rowLogs[:nr]
+	t.rhs = t.rhs[:nr]
+
+	// Per-structural-column row lists.
+	for j := 0; j < t.n; j++ {
+		rows, vals := t.colRows[j], t.colVals[j]
+		out := 0
+		for k, r := range rows {
+			if nrr := rowMap[r]; nrr >= 0 {
+				rows[out], vals[out] = nrr, vals[k]
+				out++
+			}
+		}
+		t.colRows[j] = rows[:out]
+		t.colVals[j] = vals[:out]
+	}
+
+	// Logical-column state and every per-column array.
+	nc = t.n
+	for j := t.n; j < nCols; j++ {
+		if deadCol[j] {
+			continue
+		}
+		t.logRow[nc-t.n] = rowMap[t.logRow[j-t.n]]
+		t.logSign[nc-t.n] = t.logSign[j-t.n]
+		t.cost[nc] = t.cost[j]
+		t.upper[nc] = t.upper[j]
+		t.curCost[nc] = t.curCost[j]
+		t.red[nc] = t.red[j]
+		t.alpha[nc] = t.alpha[j]
+		t.atUpper[nc] = t.atUpper[j]
+		t.isArt[nc] = t.isArt[j]
+		t.inBasis[nc] = t.inBasis[j]
+		nc++
+	}
+	t.logRow = t.logRow[:nc-t.n]
+	t.logSign = t.logSign[:nc-t.n]
+	t.cost = t.cost[:nc]
+	t.upper = t.upper[:nc]
+	t.curCost = t.curCost[:nc]
+	t.red = t.red[:nc]
+	t.alpha = t.alpha[:nc]
+	t.atUpper = t.atUpper[:nc]
+	t.isArt = t.isArt[:nc]
+	t.inBasis = t.inBasis[:nc]
+
+	// Basis positions: drop the removed rows' basic logicals, keep every
+	// surviving basic value bit-for-bit.
+	np := 0
+	for p := 0; p < m; p++ {
+		if deadPos[p] {
+			continue
+		}
+		t.basis[np] = int(colMap[t.basis[p]])
+		t.xB[np] = t.xB[p]
+		np++
+	}
+	t.basis = t.basis[:np]
+	t.xB = t.xB[:np]
+	t.m = np
+	t.whereBasic = t.whereBasic[:nc]
+	for j := range t.whereBasic {
+		t.whereBasic[j] = -1
+	}
+	for p, c := range t.basis {
+		t.whereBasic[c] = p
+	}
+
+	// Problem-row mapping.
+	npr := 0
+	for pr := range t.probRow {
+		if deadProb[pr] {
+			continue
+		}
+		er := t.probRow[pr]
+		if er >= 0 {
+			er = rowMap[er]
+		}
+		t.probRow[npr] = er
+		npr++
+	}
+	t.probRow = t.probRow[:npr]
+	t.rowsBuilt = npr
+	t.factorStale = true
+	return nil
 }
 
 // structuralX extracts the structural variable values from the basis and
