@@ -22,25 +22,40 @@
 // warm-started re-solves from the previous optimal basis
 // (Problem.ResolveFrom, bounded dual simplex with Harris-style tie-broken
 // bound flips over newly appended cuts), and in-place removal of slack
-// rows (Problem.RemoveRows). A warm claim of anything but a verified
-// optimum falls back to a cold solve, and the exact rational engine
-// warm-starts the same way (ResolveExactFrom). The max-flow substrate
-// (internal/flow) supports Reset/SetCapacity so separation and feasibility
-// networks are built once and only re-capacitated between queries. The
-// Benders cut generation in internal/activetime rides both: each round's
-// single max-flow probe yields the global minimum cut plus
-// per-deficient-job Hall violators, the per-round cut cap adapts to the
-// horizon (single-cut at tiny T, 32 at T >= 4096), and a cut registry
-// tracks age and slack per cut — by complementary slackness, slack
-// tracking is dual-activity tracking — purging persistently slack rows
-// from the live master between rounds. The dense-inverse predecessor
-// needed ~90 s for the T = 4096 scaling family and could not reach
-// T = 16384 at all; the factorized pipeline solves the former in seconds
-// and carries the latter horizon at reduced job density (the pricing
-// sweep is the next wall — see ROADMAP). One solver state, one
-// separation network, and one feasibility checker per call are reused
-// across every cut round, every rounding repair probe, and every exact
-// branch-and-bound node. See the package comments of internal/lp and
-// internal/flow for the exact warm-start, removal and reuse contracts, and
-// experiments E17/E18 for the measured scaling records.
+// rows (Problem.RemoveRows). Pricing is rule-selectable
+// (Problem.SetPricing): the default maintains Forrest–Goldfarb dual
+// steepest-edge reference weights incrementally across every pivot,
+// RemoveRows and refactorization — falling back to devex max-form updates
+// when the weight set goes stale — prices the primal phase from a managed
+// partial candidate list instead of full column scans, and enters cold
+// solves directly dual feasible (no phase-1 artificials) whenever the
+// bound structure allows, which covering masters always do; the Dantzig
+// baseline is kept for ablation. A warm re-solve that fails re-enters
+// through a crash basis seeded from the warm basis's surviving columns
+// before anything pays a full cold solve, a claim of anything but a
+// verified optimum still falls back to that cold solve, and the exact
+// rational engine warm-starts the same way (ResolveExactFrom). The
+// max-flow substrate (internal/flow) supports Reset/SetCapacity plus
+// flow-preserving re-capacitation (SetCapacityKeepFlow/PushBack) so
+// separation and feasibility networks are built once, and the Benders
+// separation oracle carries its max flow across rounds: capacity decreases
+// are repaired locally along the bipartite network's length-3 paths and
+// Dinic augments only the difference. The cut generation in
+// internal/activetime rides all of it: each round's single max-flow probe
+// yields the global minimum cut plus per-deficient-job Hall violators, the
+// per-round cut cap adapts to the horizon, and a cut registry tracks age
+// and slack per cut — by complementary slackness, slack tracking is
+// dual-activity tracking — purging persistently slack rows from the live
+// master between rounds. The dense-inverse predecessor needed ~90 s for
+// the T = 4096 scaling family and could not reach T = 16384 at all; the
+// factorized, steepest-edge pipeline solves the former in well under a
+// second of simplex work and now carries T = 16384 at the paper's
+// canonical n = T/8 density — previously beyond a 50-minute budget —
+// inside the CI scaling job (see ROADMAP for the measured record). One
+// solver state, one separation network, and one feasibility checker per
+// call are reused across every cut round, every rounding repair probe, and
+// every exact branch-and-bound node. See the package comments of
+// internal/lp and internal/flow for the exact warm-start, removal, reuse
+// and pricing contracts, and experiments E17/E18 for the measured scaling
+// records.
 package repro

@@ -116,10 +116,21 @@ func SolveLPFixedBatch(in *core.Instance, cap int) (*LPResult, error) {
 	return solveLP(in, lpOptions{batchCap: cap})
 }
 
-// lpOptions selects the cut lifecycle policy of one solveLP run.
+// SolveLPPricing is the pricing-rule ablation entry point mirroring
+// SolveLPFixedBatch: the default pipeline (adaptive batch cap, purging,
+// incremental separation) with the master's simplex pricing pinned to the
+// given rule. SolveLP itself runs lp.PricingSteepestEdge; the Dantzig and
+// devex rules exist for E18's pricing columns and the cross-solver
+// property suite, which asserts all three reach the exact optimum.
+func SolveLPPricing(in *core.Instance, rule lp.PricingRule) (*LPResult, error) {
+	return solveLP(in, lpOptions{purge: true, pricing: rule})
+}
+
+// lpOptions selects the cut lifecycle and pricing policy of one solveLP run.
 type lpOptions struct {
-	batchCap int  // cuts per separation round; 0 = adaptive in the horizon
-	purge    bool // purge persistently slack cuts between rounds
+	batchCap int            // cuts per separation round; 0 = adaptive in the horizon
+	purge    bool           // purge persistently slack cuts between rounds
+	pricing  lp.PricingRule // master pricing rule (zero value = steepest edge)
 }
 
 func solveLP(in *core.Instance, opts lpOptions) (*LPResult, error) {
@@ -134,11 +145,13 @@ func solveLP(in *core.Instance, opts lpOptions) (*LPResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	prob.SetPricing(opts.pricing)
 	batchCap := opts.batchCap
 	if batchCap == 0 {
 		batchCap = adaptiveBatchCap(in)
 	}
 	sep := newSeparator(in)
+	sep.incremental = true
 	res := &LPResult{Cuts: len(in.Jobs)}
 	reg := newCutRegistry(prob.NumConstraints())
 	var basis *lp.Basis
@@ -212,15 +225,31 @@ func jobSetKey(A []bool) string {
 // separator is the reusable Benders separation oracle: the fractional
 // feasibility network of the paper is built once per SolveLP call, and each
 // round only the y-dependent capacities (slot→sink g·y_t, job→slot y_t) are
-// rewritten before re-running max-flow on the Reset network.
+// rewritten before re-running max-flow.
+//
+// In incremental mode (every solve pipeline; see loadIncremental) the
+// previous round's flow survives re-capacitation: only edges whose capacity
+// shrank below their flow are repaired — the excess cancelled along the
+// rest of its source→job→slot→sink path, which is cheap because every path
+// in this bipartite network has length 3 — and Max then augments from the
+// repaired residual state, routing just the difference instead of the full
+// demand P over a ~T-node network every round. Fresh mode (load) rebuilds
+// the flow from zero and is kept as the equivalence-test reference.
 type separator struct {
-	in        *core.Instance
-	net       *flow.Network[float64]
-	src, sink int
-	srcEdges  []flow.EdgeID[float64]   // index i: source → job i
-	slotEdges []flow.EdgeID[float64]   // index t-1: slot t → sink
-	jobEdges  [][]flow.EdgeID[float64] // per job, per window slot offset
-	total     float64
+	in          *core.Instance
+	net         *flow.Network[float64]
+	src, sink   int
+	srcEdges    []flow.EdgeID[float64]   // index i: source → job i
+	slotEdges   []flow.EdgeID[float64]   // index t-1: slot t → sink
+	jobEdges    [][]flow.EdgeID[float64] // per job, per window slot offset
+	slotJobs    [][]slotRef              // transpose of jobEdges: per slot, incoming job edges
+	total       float64
+	incremental bool
+}
+
+// slotRef locates one job→slot edge from the slot side: jobEdges[job][k].
+type slotRef struct {
+	job, k int32
 }
 
 func newSeparator(in *core.Instance) *separator {
@@ -235,6 +264,7 @@ func newSeparator(in *core.Instance) *separator {
 		srcEdges:  make([]flow.EdgeID[float64], nJobs),
 		slotEdges: make([]flow.EdgeID[float64], T),
 		jobEdges:  make([][]flow.EdgeID[float64], nJobs),
+		slotJobs:  make([][]slotRef, T),
 	}
 	slotNode := func(t core.Time) int { return 1 + nJobs + int(t) - 1 }
 	for t := 1; t <= T; t++ {
@@ -244,17 +274,22 @@ func newSeparator(in *core.Instance) *separator {
 		s.srcEdges[i] = s.net.AddEdge(s.src, 1+i, float64(j.Length))
 		s.total += float64(j.Length)
 		ids := make([]flow.EdgeID[float64], 0, int(j.LastSlot()-j.FirstSlot())+1)
-		for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+		for k, t := 0, j.FirstSlot(); t <= j.LastSlot(); k, t = k+1, t+1 {
 			ids = append(ids, s.net.AddEdge(1+i, slotNode(t), 0))
+			s.slotJobs[t-1] = append(s.slotJobs[t-1], slotRef{int32(i), int32(k)})
 		}
 		s.jobEdges[i] = ids
 	}
 	return s
 }
 
-// load rewrites the y-dependent capacities and re-runs max-flow, reporting
-// whether y is infeasible (flow short of the total demand).
+// load solves the feasibility subproblem for y, reporting whether y is
+// infeasible (max flow short of the total demand). Incremental mode reuses
+// the previous round's flow; fresh mode rebuilds it from zero.
 func (s *separator) load(y []float64) bool {
+	if s.incremental {
+		return s.loadIncremental(y)
+	}
 	s.net.Reset()
 	g := float64(s.in.G)
 	for t := range y {
@@ -267,6 +302,66 @@ func (s *separator) load(y []float64) bool {
 		}
 	}
 	got := s.net.Max(s.src, s.sink)
+	return got < s.total-1e-6
+}
+
+// loadIncremental re-capacitates the y-dependent edges while keeping the
+// flow routed in earlier rounds, repairs conservation where a capacity
+// shrank below its flow, and lets Max augment only the difference.
+//
+// Every flow path here is source→job→slot→sink, so each repair is local:
+// clamping a job→slot edge cancels the excess on that job's supply edge and
+// that slot's sink edge; clamping a slot→sink edge cancels the excess
+// across the slot's incoming job edges (and their supply edges) until the
+// slot's inflow matches its new outflow. After the repair pass the flow is
+// again a valid (sub-maximal) flow of the re-capacitated network, so
+// continuing Dinic from the residual state yields a true maximum flow and
+// the same unique min-cut value a fresh solve finds. Edges whose capacity
+// is unchanged from the previous round — the common case, since successive
+// master optima move few y_t — are skipped entirely.
+func (s *separator) loadIncremental(y []float64) bool {
+	g := float64(s.in.G)
+	for i, j := range s.in.Jobs {
+		ids := s.jobEdges[i]
+		for k, t := 0, j.FirstSlot(); t <= j.LastSlot(); k, t = k+1, t+1 {
+			c := y[t-1]
+			if c == s.net.Capacity(ids[k]) {
+				continue
+			}
+			if ex := s.net.SetCapacityKeepFlow(ids[k], c); ex > 0 {
+				s.net.PushBack(s.srcEdges[i], ex)
+				s.net.PushBack(s.slotEdges[t-1], ex)
+			}
+		}
+	}
+	for t := range y {
+		c := g * y[t]
+		if c == s.net.Capacity(s.slotEdges[t]) {
+			continue
+		}
+		ex := s.net.SetCapacityKeepFlow(s.slotEdges[t], c)
+		for _, ref := range s.slotJobs[t] {
+			if ex <= 0 {
+				break
+			}
+			eid := s.jobEdges[ref.job][ref.k]
+			f := s.net.Flow(eid)
+			if f <= 0 {
+				continue
+			}
+			if f > ex {
+				f = ex
+			}
+			s.net.PushBack(eid, f)
+			s.net.PushBack(s.srcEdges[ref.job], f)
+			ex -= f
+		}
+	}
+	got := 0.0
+	for i := range s.srcEdges {
+		got += s.net.Flow(s.srcEdges[i])
+	}
+	got += s.net.Max(s.src, s.sink)
 	return got < s.total-1e-6
 }
 

@@ -56,6 +56,10 @@ func solveLPExact(in *core.Instance, warm bool) (*ExactLPResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The exact pipeline keeps the fresh-per-round separation oracle: its
+	// cost is negligible next to the rational master solves, and it keeps
+	// one pipeline of the cross-solver metamorphic suite independent of
+	// the incremental-repair code path it cross-checks.
 	sep := newSeparator(in)
 	res := &ExactLPResult{Cuts: len(in.Jobs)}
 	seen := make(map[string]bool)

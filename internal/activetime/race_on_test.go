@@ -1,0 +1,9 @@
+//go:build race
+
+package activetime
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. The canonical-density 16k endurance test skips under race
+// (its minutes-long run would dominate the race job); the n = T/32 light
+// variant is the race-mode endurance run.
+const raceEnabled = true

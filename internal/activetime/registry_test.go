@@ -43,11 +43,13 @@ func TestCutPurgingMatchesReferences(t *testing.T) {
 }
 
 // TestAdaptiveBatchCapPolicy pins the horizon→cap curve the benchmarks
-// justify: single-cut at tiny horizons, the full batch by T = 4096.
+// justify: single-cut at tiny horizons, the classic full batch of 32 by
+// T = 4096, and the huge-horizon tier of 64 from T = 8192 up, where round
+// count itself is the scaling axis.
 func TestAdaptiveBatchCapPolicy(t *testing.T) {
 	for _, tc := range []struct{ T, want int }{
 		{16, 1}, {64, 1}, {128, 1}, {256, 2}, {512, 4},
-		{1024, 8}, {2048, 16}, {4096, 32}, {16384, 32},
+		{1024, 8}, {2048, 16}, {4096, 32}, {8192, 64}, {16384, 64},
 	} {
 		in := &core.Instance{G: 1, Jobs: []core.Job{{
 			Release: 0, Deadline: core.Time(tc.T), Length: 1,

@@ -7,18 +7,21 @@ import (
 
 	"repro/internal/activetime"
 	"repro/internal/gen"
+	"repro/internal/lp"
 )
 
-// E18PivotCost is the pivot-cost scaling study of the LU/eta-factorized
-// simplex core: the full LP1 pipeline on the laminar/nested scaling family,
-// default policy (adaptive batch cap + cut-registry purging) against the
-// fixed-32-cap never-purging ablation. For each size it reports the
-// effort anatomy — rounds, cuts, purged rows, simplex pivots,
-// refactorizations and the realized per-pivot cost — that the dense-inverse
-// engine's O(m²)-per-pivot wall used to hide: PR 2's engine took ~90 s at
-// T = 4096 on this family; the factorized core solves it in seconds. The
-// two pipelines must agree on the LP optimum to 1e-6, so the table is also
-// a metamorphic check of cut purging at scale.
+// E18PivotCost is the pivot-cost scaling study of the factorized simplex
+// core and its pricing rules: the full LP1 pipeline on the laminar/nested
+// scaling family under dual steepest-edge pricing (the default), the devex
+// fallback rule, and the Dantzig baseline (most-infeasible dual rows, full
+// primal scans, two-phase cold starts — the PR 4 behavior), plus the
+// fixed-32-cap never-purging ablation. For each size it reports the effort
+// anatomy — rounds, cuts, purged rows, simplex pivots, refactorizations and
+// the realized per-pivot cost — and the per-rule pivot/time columns that
+// back the ROADMAP's pricing claims (the scaling suite separately locks
+// the ≥2× pivot win at T = 4096 on its pinned instance). All pipelines
+// must agree on the LP optimum to 1e-6, so the table is also a metamorphic
+// check of pricing and purging at scale.
 func E18PivotCost(cfg Config) (*Table, error) {
 	sizes := []int{512, 1024, 2048, 4096}
 	if cfg.Quick {
@@ -26,10 +29,11 @@ func E18PivotCost(cfg Config) (*Table, error) {
 	}
 	tab := &Table{
 		ID:    "E18",
-		Title: "Pivot-cost scaling of the LU/eta simplex core (default vs fixed-batch ablation)",
-		Claim: "per-pivot cost tracks factor sparsity, not m²; purging keeps the master near its binding working set",
-		Columns: []string{"T", "n", "LP", "ms", "rounds", "cuts", "purged", "pivots",
-			"refactors", "us/pivot", "fixed32-ms", "fixed32-pivots"},
+		Title: "Pivot-cost scaling of the LU/eta simplex core (steepest-edge vs devex vs Dantzig, default vs fixed-batch)",
+		Claim: "steepest-edge pricing takes fewer, better pivots than Dantzig at every horizon; per-pivot cost tracks factor sparsity, not m²",
+		Columns: []string{"T", "n", "LP", "se-ms", "rounds", "cuts", "purged", "se-pivots",
+			"refactors", "us/pivot", "dv-ms", "dv-pivots", "dz-ms", "dz-pivots",
+			"fixed32-ms", "fixed32-pivots"},
 	}
 	for _, T := range sizes {
 		in := gen.LargeHorizon(gen.RandomConfig{
@@ -38,18 +42,35 @@ func E18PivotCost(cfg Config) (*Table, error) {
 		start := time.Now()
 		def, err := activetime.SolveLP(in)
 		if err != nil {
-			return nil, fmt.Errorf("T=%d default: %w", T, err)
+			return nil, fmt.Errorf("T=%d steepest-edge: %w", T, err)
 		}
 		defMS := float64(time.Since(start).Microseconds()) / 1000
+		start = time.Now()
+		devex, err := activetime.SolveLPPricing(in, lp.PricingDevex)
+		if err != nil {
+			return nil, fmt.Errorf("T=%d devex: %w", T, err)
+		}
+		devexMS := float64(time.Since(start).Microseconds()) / 1000
+		start = time.Now()
+		dantzig, err := activetime.SolveLPPricing(in, lp.PricingDantzig)
+		if err != nil {
+			return nil, fmt.Errorf("T=%d dantzig: %w", T, err)
+		}
+		dantzigMS := float64(time.Since(start).Microseconds()) / 1000
 		start = time.Now()
 		fixed, err := activetime.SolveLPFixedBatch(in, 32)
 		if err != nil {
 			return nil, fmt.Errorf("T=%d fixed32: %w", T, err)
 		}
 		fixedMS := float64(time.Since(start).Microseconds()) / 1000
-		if math.Abs(def.Objective-fixed.Objective) > 1e-6 {
-			return nil, fmt.Errorf("T=%d: purged LP %.9f != fixed-batch LP %.9f",
-				T, def.Objective, fixed.Objective)
+		for _, alt := range []struct {
+			name string
+			obj  float64
+		}{{"devex", devex.Objective}, {"dantzig", dantzig.Objective}, {"fixed32", fixed.Objective}} {
+			if math.Abs(def.Objective-alt.obj) > 1e-6 {
+				return nil, fmt.Errorf("T=%d: steepest-edge LP %.9f != %s LP %.9f",
+					T, def.Objective, alt.name, alt.obj)
+			}
 		}
 		perPivot := 0.0
 		if def.Pivots > 0 {
@@ -58,11 +79,14 @@ func E18PivotCost(cfg Config) (*Table, error) {
 		tab.AddRow(di(T), di(len(in.Jobs)), f3(def.Objective),
 			fmt.Sprintf("%.1f", defMS), di(def.Rounds), di(def.Cuts), di(def.Purged),
 			di(def.Pivots), di(def.Refactors), fmt.Sprintf("%.1f", perPivot),
+			fmt.Sprintf("%.1f", devexMS), di(devex.Pivots),
+			fmt.Sprintf("%.1f", dantzigMS), di(dantzig.Pivots),
 			fmt.Sprintf("%.1f", fixedMS), di(fixed.Pivots))
 	}
 	tab.Notes = append(tab.Notes,
 		"family: laminar binary containers + nested window chains, n = T/8 jobs, g = 4",
-		"identical objectives asserted (1e-6): the table doubles as a purge-at-scale metamorphic check",
+		"identical objectives asserted (1e-6) across all four pipelines: the table doubles as a pricing/purging metamorphic check",
+		"se/dv/dz: steepest-edge (default), devex, Dantzig-baseline pricing; TestPricingPivotReduction locks the ≥2× pivot win at T = 4096",
 		"PR 2's dense-inverse engine needed ~90 s for T = 4096 on this family; see BenchmarkSolveLPLargeHorizon for the locked record")
 	return tab, nil
 }

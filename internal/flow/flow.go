@@ -118,6 +118,49 @@ func (g *Network[C]) Capacity(id EdgeID[C]) C {
 	return g.adj[id.from][id.idx].orig
 }
 
+// SetCapacityKeepFlow sets the edge's reference capacity to c (clamped at
+// zero) while preserving the flow currently routed through it, unlike
+// SetCapacity, which discards that flow. When the current flow exceeds c it
+// is clamped down to c, and the excess — returned to the caller — leaves
+// the network momentarily violating flow conservation at the edge's
+// endpoints: the caller must cancel the same amount along the rest of each
+// affected path (PushBack) before running Max again. This is the primitive
+// behind incremental re-capacitation: a separation oracle that keeps its
+// max flow across rounds only repairs the edges whose capacity shrank below
+// their flow and lets Max augment the difference, instead of rebuilding the
+// whole flow from zero.
+func (g *Network[C]) SetCapacityKeepFlow(id EdgeID[C], c C) (excess C) {
+	if c < 0 {
+		c = 0
+	}
+	e := &g.adj[id.from][id.idx]
+	flow := e.orig - e.cap
+	if flow > c {
+		excess = flow - c
+		flow = c
+	}
+	e.orig = c
+	e.cap = c - flow
+	g.adj[e.to][e.rev].cap = g.adj[e.to][e.rev].orig + flow
+	return excess
+}
+
+// PushBack removes d units of flow from the edge (its forward residual
+// grows by d, the paired reverse residual shrinks by d), without touching
+// reference capacities. Like SetCapacityKeepFlow's clamping it breaks flow
+// conservation locally; the caller is responsible for cancelling the same d
+// along the rest of the path, which is cheap when it knows the path
+// structure (the bipartite separation network's paths all have length 3).
+func (g *Network[C]) PushBack(id EdgeID[C], d C) {
+	e := &g.adj[id.from][id.idx]
+	e.cap += d
+	r := &g.adj[e.to][e.rev]
+	r.cap -= d
+	if r.cap < 0 {
+		r.cap = 0
+	}
+}
+
 // Flow returns the amount of flow currently routed through the edge.
 func (g *Network[C]) Flow(id EdgeID[C]) C {
 	e := &g.adj[id.from][id.idx]

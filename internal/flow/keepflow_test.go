@@ -1,0 +1,128 @@
+package flow
+
+import (
+	"math"
+	"testing"
+)
+
+// buildTriple builds the 3-layer path shape of the separation network:
+// src → a → b → sink with unit-ish capacities.
+func buildTriple() (*Network[float64], EdgeID[float64], EdgeID[float64], EdgeID[float64]) {
+	g := NewNetwork[float64](4, 1e-12)
+	e1 := g.AddEdge(0, 1, 2)
+	e2 := g.AddEdge(1, 2, 2)
+	e3 := g.AddEdge(2, 3, 2)
+	return g, e1, e2, e3
+}
+
+// TestSetCapacityKeepFlowGrow checks that raising capacity preserves the
+// routed flow and only the residual grows, so a follow-up Max augments the
+// difference instead of re-routing everything.
+func TestSetCapacityKeepFlowGrow(t *testing.T) {
+	g, e1, e2, e3 := buildTriple()
+	if got := g.Max(0, 3); got != 2 {
+		t.Fatalf("initial max flow %v, want 2", got)
+	}
+	for _, e := range []EdgeID[float64]{e1, e2, e3} {
+		if ex := g.SetCapacityKeepFlow(e, 5); ex != 0 {
+			t.Fatalf("raising capacity reported excess %v", ex)
+		}
+		if f := g.Flow(e); f != 2 {
+			t.Fatalf("flow not preserved: %v", f)
+		}
+		if r := g.Residual(e); r != 3 {
+			t.Fatalf("residual %v, want 3", r)
+		}
+	}
+	if got := g.Max(0, 3); got != 3 {
+		t.Fatalf("incremental augment pushed %v, want 3", got)
+	}
+	for _, e := range []EdgeID[float64]{e1, e2, e3} {
+		if f := g.Flow(e); f != 5 {
+			t.Fatalf("final flow %v, want 5", f)
+		}
+	}
+}
+
+// TestSetCapacityKeepFlowShrink checks the clamp-and-repair path: shrinking
+// below the routed flow reports the excess, and cancelling it along the
+// rest of the path (PushBack) restores a valid flow that Max can extend.
+func TestSetCapacityKeepFlowShrink(t *testing.T) {
+	g, e1, e2, e3 := buildTriple()
+	if got := g.Max(0, 3); got != 2 {
+		t.Fatalf("initial max flow %v, want 2", got)
+	}
+	ex := g.SetCapacityKeepFlow(e2, 0.5)
+	if math.Abs(ex-1.5) > 1e-12 {
+		t.Fatalf("excess %v, want 1.5", ex)
+	}
+	if f := g.Flow(e2); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("clamped flow %v, want 0.5", f)
+	}
+	// Repair conservation along the length-3 path.
+	g.PushBack(e1, ex)
+	g.PushBack(e3, ex)
+	if f := g.Flow(e1); math.Abs(f-0.5) > 1e-12 {
+		t.Fatalf("pushed-back supply flow %v, want 0.5", f)
+	}
+	// No augmenting path can beat the 0.5 bottleneck now.
+	if got := g.Max(0, 3); got > 1e-12 {
+		t.Fatalf("Max augmented %v through a saturated bottleneck", got)
+	}
+	// Restore the bottleneck: only the 1.5 difference should be pushed.
+	if ex := g.SetCapacityKeepFlow(e2, 2); ex != 0 {
+		t.Fatalf("raising capacity reported excess %v", ex)
+	}
+	if got := g.Max(0, 3); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("incremental augment pushed %v, want 1.5", got)
+	}
+}
+
+// TestSetCapacityKeepFlowVersusReset cross-checks the incremental
+// re-capacitation against SetCapacity+Reset semantics on a diamond graph:
+// after arbitrary capacity changes and repairs, total max flow must match
+// a from-scratch solve.
+func TestSetCapacityKeepFlowVersusReset(t *testing.T) {
+	build := func() (*Network[float64], []EdgeID[float64]) {
+		g := NewNetwork[float64](6, 1e-12)
+		ids := []EdgeID[float64]{
+			g.AddEdge(0, 1, 3), g.AddEdge(0, 2, 2),
+			g.AddEdge(1, 3, 2), g.AddEdge(1, 4, 2), g.AddEdge(2, 4, 2),
+			g.AddEdge(3, 5, 3), g.AddEdge(4, 5, 3),
+		}
+		return g, ids
+	}
+	caps := [][]float64{
+		{3, 2, 2, 2, 2, 3, 3},
+		{1, 2, 2, 0.5, 2, 3, 3},
+		{4, 4, 0.25, 2, 2, 3, 3},
+		{3, 2, 2, 2, 2, 0.1, 3},
+	}
+	inc, incIDs := build()
+	incFlow := 0.0
+	for step, cs := range caps {
+		// Fresh reference.
+		ref, refIDs := build()
+		for k, c := range cs {
+			ref.SetCapacity(refIDs[k], c)
+		}
+		want := ref.Max(0, 5)
+		// Incremental: keep flow, cancel any excess by brute residual
+		// bookkeeping — this graph is not 3-layered, so just rebuild the
+		// flow when an edge clamps (the caller contract), else augment.
+		clamped := false
+		for k, c := range cs {
+			if inc.SetCapacityKeepFlow(incIDs[k], c) > 0 {
+				clamped = true
+			}
+		}
+		if clamped {
+			inc.Reset()
+			incFlow = 0
+		}
+		incFlow += inc.Max(0, 5)
+		if math.Abs(incFlow-want) > 1e-9 {
+			t.Fatalf("step %d: incremental total %v, fresh %v", step, incFlow, want)
+		}
+	}
+}

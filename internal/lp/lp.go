@@ -5,11 +5,11 @@
 //	subject to  a_i·x {<=,>=,=} b_i   for each constraint i
 //	            0 <= x_j <= u_j       (u_j = +Inf unless SetUpper is called)
 //
-// Two interchangeable engines are provided: a float64 engine (Solve) tuned
-// with a Dantzig pivot rule falling back to Bland's rule for anti-cycling,
-// and an exact rational engine over math/big.Rat (SolveExact) used by tests
-// to validate the float engine and by callers that need exact optima on
-// small programs.
+// Two interchangeable engines are provided: a float64 engine (Solve) with
+// selectable pricing (dual steepest-edge by default; see SetPricing)
+// falling back to Bland's rule for anti-cycling, and an exact rational
+// engine over math/big.Rat (SolveExact) used by tests to validate the
+// float engine and by callers that need exact optima on small programs.
 //
 // # Sparse representation and factorized basis
 //
@@ -39,17 +39,52 @@
 // and index-order tie-breaking measurably sent the bound-flipping walk
 // into dual-progress-free flip storms at large horizons.
 //
+// # Pricing
+//
+// Pricing is rule-selectable per Problem (SetPricing). The default,
+// PricingSteepestEdge, prices dual pivots with Forrest–Goldfarb dual
+// steepest-edge reference weights w_i = ‖e_iᵀB⁻¹‖²: the leaving row
+// maximizes violation²/weight, which measures each violation in the
+// geometry of the dual edge the pivot traverses and takes far fewer (and
+// better-conditioned) pivots than most-infeasible selection on the
+// dual-degenerate covering masters this package exists for. The weights
+// live in basis-position space and are maintained incrementally across
+// every basis change by the exact FG update (one extra FTRAN per pivot,
+// hooked into the same FTRAN/BTRAN products the pivot already computes);
+// they survive refactorization unchanged (the basis does not change),
+// survive RemoveRows by compaction, and appended rows price their new
+// positions exactly with one BTRAN each. The exact norm of each pivot row
+// — computed anyway for the ratio test — anchors the leaving weight every
+// pivot and doubles as a staleness detector: on disagreement beyond a
+// guard factor the engine falls back to devex max-form updates (robust to
+// approximate weights) for the rest of the state's life. PricingDevex
+// runs those max-form updates exclusively (no extra FTRAN); PricingDantzig
+// keeps the pre-steepest-edge baseline for ablation. Under the non-Dantzig
+// rules the primal phase prices from a managed partial candidate list
+// (refilled by a cyclic rotor scan) instead of scanning every column, and
+// the bound-flipping dual ratio test consumes its candidates through a
+// binary heap — the walk usually wants a handful of the thousands a wide
+// pivot row yields, so nothing pays a full sort per pivot.
+//
 // The engine handles variable upper bounds natively (nonbasic variables may
 // sit at either bound, and the ratio test admits bound flips), so callers
 // never pay a constraint row for a box constraint; single-variable
-// "x_j <= u" rows are also presolved into bounds. It supports incremental
-// re-solves: ResolveFrom keeps the factorized state alive between calls,
-// incorporates rows appended to the Problem since the previous solve (one
-// refactorization at the new dimension), and recovers optimality with the
-// dual simplex instead of re-running two-phase simplex from scratch. The
-// pricing loop maintains a persistent reduced-cost row updated in place at
-// each pivot (refreshed periodically against drift), and the factor arenas
-// are reused across refactorizations, so steady-state pivoting performs no
+// "x_j <= u" rows are also presolved into bounds. Cold solves under the
+// non-Dantzig rules start directly dual feasible whenever every
+// negative-cost column has a finite upper bound (always true for covering
+// masters): each structural rests on the bound its cost sign prefers, the
+// all-logical basis prices exactly (weight 1 everywhere), and the dual
+// simplex replaces the whole two-phase artificial apparatus. It supports
+// incremental re-solves: ResolveFrom keeps the factorized state alive
+// between calls, incorporates rows appended to the Problem since the
+// previous solve (one refactorization at the new dimension), and recovers
+// optimality with the dual simplex instead of re-running a cold solve from
+// scratch; a warm re-solve that fails re-enters through a crash basis
+// seeded from the warm basis's surviving columns (fresh factors, no
+// numerical history) before the full cold solve is attempted. The pricing
+// loop maintains a persistent reduced-cost row updated in place at each
+// pivot (refreshed periodically against drift), and the factor arenas are
+// reused across refactorizations, so steady-state pivoting performs no
 // allocations.
 //
 // # Warm-start contract
@@ -119,6 +154,47 @@ func (r Relation) String() string {
 	return "?"
 }
 
+// PricingRule selects the float engine's simplex pricing strategy: how the
+// dual simplex chooses its leaving row and how the primal simplex chooses
+// its entering column. Every rule reaches the same optima (the cross-solver
+// property suites assert it); they differ only in how many pivots they
+// spend getting there and what each pivot's pricing pass costs.
+type PricingRule int
+
+const (
+	// PricingSteepestEdge is the default: dual pivots are priced with
+	// Forrest–Goldfarb dual steepest-edge reference weights
+	// (w_i = ‖e_iᵀB⁻¹‖²), maintained incrementally across every basis
+	// change with the exact update formula (one extra FTRAN per pivot),
+	// and the primal phase prices from a managed partial candidate list
+	// instead of scanning every column. When the incrementally maintained
+	// weights go stale — detected against the exact row norm the dual
+	// ratio test computes anyway — the engine falls back to devex-style
+	// max-form updates for the remainder of the state's life.
+	PricingSteepestEdge PricingRule = iota
+	// PricingDevex maintains approximate reference weights with devex
+	// max-form updates only (no extra FTRAN per pivot), anchored at the
+	// exact norm of each pivot row as it is computed. Primal pricing is
+	// the same partial candidate list as steepest edge.
+	PricingDevex
+	// PricingDantzig is the pre-steepest-edge baseline kept for ablation:
+	// most-infeasible dual row selection and full most-negative-reduced-
+	// cost primal scans.
+	PricingDantzig
+)
+
+func (r PricingRule) String() string {
+	switch r {
+	case PricingSteepestEdge:
+		return "steepest-edge"
+	case PricingDevex:
+		return "devex"
+	case PricingDantzig:
+		return "dantzig"
+	}
+	return "?"
+}
+
 // Status reports the outcome of a solve.
 type Status int
 
@@ -159,6 +235,7 @@ type Problem struct {
 	// row-count comparison cannot tell remove-k-then-append-k from
 	// append-only.
 	removeEpoch int
+	pricing     PricingRule
 }
 
 type entry struct {
@@ -194,6 +271,18 @@ func (p *Problem) SetUpper(j int, u float64) {
 	}
 	p.upper[j] = u
 }
+
+// SetPricing selects the float engine's pricing rule (PricingSteepestEdge
+// by default). The rule is read when an engine state is created — a cold
+// Solve/ResolveFrom(nil) call — and rides with that state for its life, so
+// changing it between warm re-solves has no effect until the next cold
+// start. The exact rational engine is unaffected.
+func (p *Problem) SetPricing(r PricingRule) {
+	p.pricing = r
+}
+
+// Pricing returns the pricing rule new engine states will use.
+func (p *Problem) Pricing() PricingRule { return p.pricing }
 
 // Upper returns the upper bound of variable j (+Inf if never set).
 func (p *Problem) Upper(j int) float64 {
@@ -378,8 +467,7 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 	var status Status
 	budget := maxPivots
 	if prev == nil || prev.t == nil {
-		t = newRevised(p)
-		status = t.runTwoPhase(&budget)
+		t, status = coldSolve(p, &budget)
 		if status == Optimal {
 			status = t.verifyOptimal(p, &budget)
 		}
@@ -421,20 +509,52 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 			// The warm path certifies only optima: a warm claim of
 			// infeasibility (or an exhausted pivot budget, or an optimum
 			// that failed verification) may be an artifact of the inherited
-			// basis, so it is re-derived by a cold two-phase solve of the
-			// full problem, whose phase-1 verdict is independent of any
-			// prior state. Iterations still reports every pivot spent in
-			// this call, warm and cold.
-			warmPivots := t.pivots - t.pivotsAtCall
-			warmRefactors := t.refactors - t.refactorsAtCall
-			t = newRevised(p)
-			budget = maxPivots
-			status = t.runTwoPhase(&budget)
-			if status == Optimal {
-				status = t.verifyOptimal(p, &budget)
+			// basis, so it is re-derived cold. The cold entry is a crash
+			// basis seeded from the warm basis's surviving columns — a
+			// fresh state with no numerical history whose dual repair
+			// typically needs a handful of pivots where the all-logical
+			// two-phase restart pays thousands re-deriving a near-identical
+			// basis. Only a verified optimum is accepted from the crash;
+			// anything else (including any infeasibility claim, which a
+			// seeded basis cannot certify) falls through to coldSolve,
+			// which likewise only trusts its fast dual-start for optima
+			// and ends every other verdict at the two-phase solve, whose
+			// phase-1 result is independent of any prior state.
+			// Iterations still reports every pivot spent in this call —
+			// warm, crash and cold.
+			prevPivots := t.pivots - t.pivotsAtCall
+			prevRefactors := t.refactors - t.refactorsAtCall
+			prev := t
+			t = nil
+			if tc := newCrashRevised(p, prev); tc != nil {
+				budget = maxPivots / 4
+				tc.crashPrep()
+				st := tc.dualIterate(&budget)
+				if st == Optimal {
+					st = tc.primalIterate(false, &budget)
+				}
+				if st == Optimal {
+					st = tc.verifyOptimal(p, &budget)
+				}
+				if st == Optimal {
+					t = tc
+					status = Optimal
+				} else {
+					prevPivots += tc.pivots
+					prevRefactors += tc.refactors
+				}
 			}
-			t.pivotsAtCall = -warmPivots
-			t.refactorsAtCall = -warmRefactors
+			if t == nil {
+				budget = maxPivots
+				t, status = coldSolve(p, &budget)
+				if status == Optimal {
+					status = t.verifyOptimal(p, &budget)
+				}
+			}
+			// Accumulate rather than overwrite: coldSolve may itself have
+			// discarded a dual-start attempt into pivotsAtCall already.
+			t.pivotsAtCall -= prevPivots
+			t.refactorsAtCall -= prevRefactors
 		}
 	}
 	sol := &Solution{
@@ -453,4 +573,3 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 	sol.Objective = obj
 	return sol, &Basis{t: t}, nil
 }
-

@@ -59,9 +59,9 @@ type revised struct {
 	logRow  []int32   // per logical column (index col-n): owning row
 	logSign []float64 // +1 slack/artificial, -1 surplus
 
-	f           factor // LU + eta-file basis representation (see factor.go)
-	factorStale bool   // basis structure changed; refactorize before solving
-	broken      bool   // refactorization failed; only IterLimit may be reported
+	f           factor  // LU + eta-file basis representation (see factor.go)
+	factorStale bool    // basis structure changed; refactorize before solving
+	broken      bool    // refactorization failed; only IterLimit may be reported
 	probRow     []int32 // per Problem row: engine row, or -1 if presolved away
 
 	basis []int     // basic column of each basis position
@@ -84,13 +84,31 @@ type revised struct {
 
 	// Scratch reused across pivots so steady-state pivoting is
 	// allocation-free.
-	w       []float64 // FTRAN result, length m
-	rho     []float64 // pivot row of binv, length m
-	y       []float64 // dual scratch for refreshes, length m
-	flipAcc []float64 // row-space accumulator for batched bound flips, length m
+	w       []float64  // FTRAN result, length m
+	rho     []float64  // pivot row of binv, length m
+	y       []float64  // dual scratch for refreshes, length m
+	flipAcc []float64  // row-space accumulator for batched bound flips, length m
+	tau     []float64  // steepest-edge update scratch (B⁻¹·rho), length m
 	alpha   []float64  // pivot row of the tableau, length ncols, kept zeroed
 	touched []int32    // columns with nonzero alpha this pivot
 	cands   []dualCand // dual ratio-test candidates, reused across pivots
+
+	// Pricing state (see the pricing section of the package comment).
+	rule PricingRule
+	// dseW[i] is the dual pricing weight of basis position i: the exact
+	// Forrest–Goldfarb reference weight ‖e_iᵀB⁻¹‖² while dseStale is
+	// false, a devex-style approximation after. A negative entry marks a
+	// position appended since the last dual pass, initialized lazily by
+	// ensureWeights. Weights live in basis-position space, so they
+	// survive refactorization unchanged (B does not change) and survive
+	// RemoveRows by compaction (the surviving rows of the reduced inverse
+	// are exactly the surviving rows of the old one).
+	dseW     []float64
+	dseStale bool // exact FG maintenance lost; devex max-form updates from here on
+	// Partial primal pricing: a managed candidate list plus the cyclic
+	// rotor position the next refill scan starts from.
+	candList  []int32
+	candRotor int
 
 	pivots          int // lifetime pivot count
 	pivotsAtCall    int // pivot count when the current ResolveFrom began
@@ -109,6 +127,30 @@ const (
 	etaBloat = 8
 )
 
+// Pricing constants.
+const (
+	// candListMax bounds the partial-pricing candidate list: a refill
+	// scan stops as soon as this many attractive columns are collected,
+	// so steady-state primal pricing touches a managed window of columns
+	// instead of all of them. A full cyclic wrap that collects nothing is
+	// the (only) way partial pricing concludes no attractive column
+	// exists, which keeps its optimality claims identical to full
+	// Dantzig's.
+	candListMax = 64
+	// dseWeightFloor keeps incrementally updated weights positive when
+	// cancellation in the FG update rounds a tiny weight below zero.
+	dseWeightFloor = 1e-10
+	// dseStaleFactor is the staleness trigger: when the incrementally
+	// maintained weight of the pivot row disagrees with the exact
+	// ‖e_rᵀB⁻¹‖² (computed anyway for the ratio test) by more than this
+	// factor either way, the whole weight set is declared stale and the
+	// engine falls back to devex max-form updates.
+	dseStaleFactor = 16.0
+	// devexResetAbove restarts the devex reference framework (all
+	// weights back to 1) when a weight outgrows it; unbounded devex
+	// weights degenerate into pure most-infeasible selection.
+	devexResetAbove = 1e10
+)
 
 // newRevised builds the initial state. Singleton "a*x_j <= b" rows with
 // a > 0, b >= 0 are presolved into the variable's upper bound (and vacuous
@@ -194,7 +236,15 @@ func newRevised(p *Problem) *revised {
 		rho:        make([]float64, nRows, rowCap),
 		y:          make([]float64, nRows, rowCap),
 		flipAcc:    make([]float64, nRows, rowCap),
+		tau:        make([]float64, nRows, rowCap),
 		touched:    make([]int32, 0, colCap),
+		rule:       p.pricing,
+		dseW:       make([]float64, nRows, rowCap),
+	}
+	// The initial all-logical basis is a signed permutation, so every row
+	// of its inverse has norm exactly 1: the weight set starts exact.
+	for i := range t.dseW {
+		t.dseW[i] = 1
 	}
 	copy(t.cost, p.c)
 	copy(t.upper, bound)
@@ -327,6 +377,61 @@ type dualCand struct {
 	col   int32
 	ratio float64
 	mag   float64 // |pivot element|, the tie-breaking key
+}
+
+// dualCandBefore is the bound-flipping walk's consumption order: ratio
+// ascending with ratios below tieTol collapsed into one degenerate bucket,
+// ties by descending pivot magnitude (Harris-style), final ties by a hashed
+// (still deterministic) column order that decorrelates the flip walk from
+// the master's column layout — plain index order re-correlates it into
+// coherent flip storms on integer-data masters.
+func dualCandBefore(a, b dualCand) bool {
+	const tieTol = 1e-9 // ratios below this are the degenerate bucket
+	ra, rb := a.ratio, b.ratio
+	if ra <= tieTol {
+		ra = 0
+	}
+	if rb <= tieTol {
+		rb = 0
+	}
+	if ra != rb {
+		return ra < rb
+	}
+	if a.mag != b.mag {
+		return a.mag > b.mag
+	}
+	ha := uint32(a.col) * 2654435761
+	hb := uint32(b.col) * 2654435761
+	if ha != hb {
+		return ha < hb
+	}
+	return a.col < b.col
+}
+
+// heapifyDualCands builds a binary min-heap under dualCandBefore in place.
+func heapifyDualCands(c []dualCand) {
+	for i := len(c)/2 - 1; i >= 0; i-- {
+		siftDualCand(c, i)
+	}
+}
+
+// siftDualCand restores the heap property below index i.
+func siftDualCand(c []dualCand, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(c) && dualCandBefore(c[l], c[min]) {
+			min = l
+		}
+		if r < len(c) && dualCandBefore(c[r], c[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		c[i], c[min] = c[min], c[i]
+		i = min
+	}
 }
 
 // pivTol is the minimum magnitude accepted for a dual pivot element.
@@ -483,6 +588,128 @@ func (t *revised) btranRho(row int) {
 	t.f.btran(rho)
 }
 
+// ensureWeights initializes pricing weights for basis positions appended
+// since the last pricing pass (marked -1 by appendRow). While the weight
+// set is exactly maintained, a new position's reference weight is computed
+// exactly with one BTRAN of the position unit vector — ‖e_pᵀB⁻¹‖², the
+// Forrest–Goldfarb definition; in devex mode the reference value 1 is used.
+// Existing positions are never touched here: applyPivot maintains them
+// incrementally across every basis change.
+func (t *revised) ensureWeights() {
+	if t.rule == PricingDantzig {
+		return
+	}
+	exact := t.rule == PricingSteepestEdge && !t.dseStale && !t.broken && !t.factorStale
+	for p := 0; p < t.m; p++ {
+		if t.dseW[p] >= 0 {
+			continue
+		}
+		if !exact {
+			t.dseW[p] = 1
+			continue
+		}
+		t.btranRho(p)
+		rho := t.rho[:t.m]
+		s := 0.0
+		for _, v := range rho {
+			s += v * v
+		}
+		if s < dseWeightFloor {
+			s = dseWeightFloor
+		}
+		t.dseW[p] = s
+	}
+}
+
+// updateWeights maintains the dual pricing weights across the basis change
+// at position row: t.w must hold the pivot column B⁻¹·A_q and t.rho the
+// pivot row e_rowᵀ·B⁻¹, both for the pre-pivot basis (which is why
+// applyPivot calls this before pushing the pivot's eta). The exact norm of
+// the pivot row — free, since the row was computed for the ratio test
+// anyway — always anchors the leaving position's new weight, and doubles as
+// the staleness detector: when the incrementally carried weight disagrees
+// with the exact norm by more than dseStaleFactor, accumulated update error
+// has detached the weight set from the basis and the engine degrades to
+// devex max-form updates (robust to approximate weights) for the rest of
+// this state's life.
+//
+// Exact (Forrest–Goldfarb) mode updates every position touched by the
+// pivot column with
+//
+//	β'_i = β_i − 2·(w_i/w_r)·τ_i + (w_i/w_r)²·β_r ,  τ = B⁻¹·rho_row ,
+//
+// costing one extra FTRAN per pivot (τ_i is the inner product of inverse
+// rows i and row); devex mode uses β'_i = max(β_i, (w_i/w_r)²·β_r) with no
+// extra solve.
+func (t *revised) updateWeights(row int) {
+	w := t.w[:t.m]
+	wr := w[row]
+	if wr == 0 {
+		return
+	}
+	rho := t.rho[:t.m]
+	br := 0.0
+	for _, v := range rho {
+		br += v * v
+	}
+	inv := 1 / wr
+	if t.rule == PricingSteepestEdge && !t.dseStale {
+		if incw := t.dseW[row]; incw > 0 && (incw*dseStaleFactor < br || incw > br*dseStaleFactor) {
+			t.dseStale = true
+			for i := range t.dseW {
+				t.dseW[i] = 1
+			}
+		}
+	}
+	if t.rule == PricingSteepestEdge && !t.dseStale {
+		tau := t.tau[:t.m]
+		copy(tau, rho)
+		t.f.ftran(tau)
+		for i := 0; i < t.m; i++ {
+			wi := w[i]
+			if wi == 0 || i == row {
+				continue
+			}
+			s := wi * inv
+			nb := t.dseW[i] - 2*s*tau[i] + s*s*br
+			if nb < dseWeightFloor {
+				nb = dseWeightFloor
+			}
+			t.dseW[i] = nb
+		}
+		nb := br * inv * inv
+		if nb < dseWeightFloor {
+			nb = dseWeightFloor
+		}
+		t.dseW[row] = nb
+		return
+	}
+	// Devex max-form updates, anchored at the exact pivot-row norm.
+	reset := false
+	for i := 0; i < t.m; i++ {
+		wi := w[i]
+		if wi == 0 || i == row {
+			continue
+		}
+		if cand := wi * wi * inv * inv * br; cand > t.dseW[i] {
+			t.dseW[i] = cand
+			if cand > devexResetAbove {
+				reset = true
+			}
+		}
+	}
+	brr := br * inv * inv
+	if brr < 1 {
+		brr = 1
+	}
+	t.dseW[row] = brr
+	if reset || brr > devexResetAbove {
+		for i := range t.dseW {
+			t.dseW[i] = 1
+		}
+	}
+}
+
 // pivotRowAlpha accumulates alpha_j = rho·A_j for every column with a
 // nonzero result into t.alpha, recording them in t.touched. The sweep walks
 // only rows with a nonzero rho entry, so its cost is the sparse support of
@@ -566,6 +793,13 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 		t.clearAlpha()
 	}
 
+	// Maintain the dual pricing weights against the pre-pivot basis (t.w
+	// and t.rho are both still pre-pivot here; the FG correction term
+	// needs the old factors, so this must precede the eta push).
+	if t.rule != PricingDantzig {
+		t.updateWeights(row)
+	}
+
 	// Record the basis change in the eta file instead of a dense rank-one
 	// inverse update: O(nnz(w)) written, nothing of size m².
 	t.f.pushEta(row, w)
@@ -643,12 +877,77 @@ func (t *revised) boundFlip(col int, dir float64) {
 	t.atUpper[col] = !t.atUpper[col]
 }
 
+// primalScore is a column's attractiveness under the current reduced
+// costs: the rate of objective decrease per unit of movement off its bound.
+// Zero (or negative) means the column may not enter.
+func (t *revised) primalScore(j int, phase1 bool) float64 {
+	if t.inBasis[j] || (!phase1 && t.isArt[j]) {
+		return 0
+	}
+	if t.atUpper[j] {
+		return t.red[j]
+	}
+	return -t.red[j]
+}
+
+// pickPartial is the partial-pricing entering-column choice: it first
+// drains the managed candidate list — re-scoring each member against the
+// live reduced costs, dropping the no-longer-attractive, and returning the
+// best — and only when the list yields nothing does it refill by scanning
+// columns cyclically from the rotor until candListMax fresh candidates are
+// collected or the scan wraps. Steady-state pricing therefore touches a
+// bounded window of columns per pivot instead of all of them, while the
+// full-wrap-empty case is exactly full pricing's "no attractive column"
+// conclusion, so optimality claims are unchanged (and are still confirmed
+// against a fresh reduced-cost row by the caller).
+func (t *revised) pickPartial(phase1 bool) int {
+	best, col := eps, -1
+	out := 0
+	for _, j32 := range t.candList {
+		j := int(j32)
+		s := t.primalScore(j, phase1)
+		if s <= eps {
+			continue
+		}
+		t.candList[out] = j32
+		out++
+		if s > best {
+			best, col = s, j
+		}
+	}
+	t.candList = t.candList[:out]
+	if col >= 0 {
+		return col
+	}
+	t.candList = t.candList[:0]
+	ncols := len(t.red)
+	j := t.candRotor
+	if j >= ncols {
+		j = 0
+	}
+	for scanned := 0; scanned < ncols && len(t.candList) < candListMax; scanned++ {
+		if s := t.primalScore(j, phase1); s > eps {
+			t.candList = append(t.candList, int32(j))
+			if s > best {
+				best, col = s, j
+			}
+		}
+		j++
+		if j == ncols {
+			j = 0
+		}
+	}
+	t.candRotor = j
+	return col
+}
+
 // primalIterate runs bounded-variable primal simplex iterations with the
 // current phase's cost vector until optimal, unbounded, or the pivot budget
 // is exhausted. Outside phase 1, artificial columns may not enter.
 func (t *revised) primalIterate(phase1 bool, budget *int) Status {
 	t.setPhaseCost(phase1)
 	t.refreshRed()
+	t.ensureWeights()
 	blandFrom := *budget / 2 // switch to Bland's rule for the second half
 	for iter := 0; ; iter++ {
 		if *budget <= 0 || t.broken {
@@ -660,7 +959,22 @@ func (t *revised) primalIterate(phase1 bool, budget *int) Status {
 		}
 		red := t.red
 		col := -1
-		if iter < blandFrom {
+		if iter >= blandFrom {
+			for j := range red {
+				if t.inBasis[j] || (!phase1 && t.isArt[j]) {
+					continue
+				}
+				if t.atUpper[j] {
+					if red[j] > eps {
+						col = j
+						break
+					}
+				} else if red[j] < -eps {
+					col = j
+					break
+				}
+			}
+		} else if t.rule == PricingDantzig {
 			best := eps
 			for j := range red {
 				if t.inBasis[j] || (!phase1 && t.isArt[j]) {
@@ -676,20 +990,7 @@ func (t *revised) primalIterate(phase1 bool, budget *int) Status {
 				}
 			}
 		} else {
-			for j := range red {
-				if t.inBasis[j] || (!phase1 && t.isArt[j]) {
-					continue
-				}
-				if t.atUpper[j] {
-					if red[j] > eps {
-						col = j
-						break
-					}
-				} else if red[j] < -eps {
-					col = j
-					break
-				}
-			}
+			col = t.pickPartial(phase1)
 		}
 		if col < 0 {
 			// Never certify optimality against a stale reduced-cost row:
@@ -765,6 +1066,7 @@ func (t *revised) primalIterate(phase1 bool, budget *int) Status {
 func (t *revised) dualIterate(budget *int) Status {
 	t.setPhaseCost(false)
 	t.refreshRed()
+	t.ensureWeights()
 	blandFrom := *budget / 2
 	resynced := false
 	for iter := 0; ; iter++ {
@@ -775,23 +1077,48 @@ func (t *revised) dualIterate(budget *int) Status {
 		if t.sinceRefresh >= refreshEvery {
 			t.refreshRed()
 		}
-		// Leaving: most infeasible basic variable (lowest-index infeasible
-		// once in the Bland regime).
+		// Leaving row. Steepest-edge/devex regimes pick the basic variable
+		// maximizing violation²/weight — the dual steepest-edge criterion,
+		// which measures each violation in the geometry of the dual edge
+		// the pivot would traverse instead of raw units; on dual-degenerate
+		// covering masters that takes far fewer (and better-conditioned)
+		// pivots than most-infeasible selection. The Dantzig rule keeps
+		// most-infeasible selection, and every rule falls back to
+		// lowest-index selection in the Bland regime.
 		row := -1
-		worst := 1e-7
 		above := false
-		for i := 0; i < t.m; i++ {
-			v := t.xB[i]
-			if -v > worst {
-				worst, row, above = -v, i, false
-				if iter >= blandFrom {
-					break
+		if t.rule != PricingDantzig && iter < blandFrom {
+			best := 0.0
+			for i := 0; i < t.m; i++ {
+				v := t.xB[i]
+				var viol float64
+				ab := false
+				if v < -1e-7 {
+					viol = -v
+				} else if ub := t.upper[t.basis[i]]; !math.IsInf(ub, 1) && v-ub > 1e-7 {
+					viol, ab = v-ub, true
+				} else {
+					continue
+				}
+				if score := viol * viol / t.dseW[i]; score > best {
+					best, row, above = score, i, ab
 				}
 			}
-			if ub := t.upper[t.basis[i]]; !math.IsInf(ub, 1) && v-ub > worst {
-				worst, row, above = v-ub, i, true
-				if iter >= blandFrom {
-					break
+		} else {
+			worst := 1e-7
+			for i := 0; i < t.m; i++ {
+				v := t.xB[i]
+				if -v > worst {
+					worst, row, above = -v, i, false
+					if iter >= blandFrom {
+						break
+					}
+				}
+				if ub := t.upper[t.basis[i]]; !math.IsInf(ub, 1) && v-ub > worst {
+					worst, row, above = v-ub, i, true
+					if iter >= blandFrom {
+						break
+					}
 				}
 			}
 		}
@@ -841,51 +1168,26 @@ func (t *revised) dualIterate(budget *int) Status {
 			cands = append(cands, dualCand{col: int32(j), ratio: ratio, mag: math.Abs(a)})
 		}
 		t.cands = cands
-		// Candidates in increasing dual-ratio order. Covering masters are
-		// massively dual degenerate — at an integral optimum most reduced
-		// costs are exactly zero, so whole swathes of candidates tie at
-		// ratio zero. Within a ratio tie the walk prefers the largest pivot
-		// magnitude (Harris-style): each flipped candidate then absorbs the
-		// most violation per flip and the eventual pivot element is large.
-		// Breaking ties by column index instead sends the walk through long
-		// chains of dual-progress-free flips that reshuffle every
-		// overlapping cut row — measured on the T=4096 scaling family, that
-		// turned warm dual repairs of ~10² pivots into 10⁴-pivot
-		// infeasibility storms.
-		slices.SortFunc(cands, func(a, b dualCand) int {
-			const tieTol = 1e-9 // ratios below this are the degenerate bucket
-			ra, rb := a.ratio, b.ratio
-			if ra <= tieTol {
-				ra = 0
-			}
-			if rb <= tieTol {
-				rb = 0
-			}
-			switch {
-			case ra < rb:
-				return -1
-			case ra > rb:
-				return 1
-			case a.mag > b.mag:
-				return -1
-			case a.mag < b.mag:
-				return 1
-			default:
-				// Integer-data masters tie on magnitude too; a mixed
-				// (still deterministic) index order decorrelates the
-				// flip walk from the master's column layout, which
-				// index order re-correlates into coherent flip storms.
-				ha := uint32(a.col) * 2654435761
-				hb := uint32(b.col) * 2654435761
-				switch {
-				case ha < hb:
-					return -1
-				case ha > hb:
-					return 1
-				}
-				return int(a.col) - int(b.col)
-			}
-		})
+		// Candidates are consumed in increasing dual-ratio order. Covering
+		// masters are massively dual degenerate — at an integral optimum
+		// most reduced costs are exactly zero, so whole swathes of
+		// candidates tie at ratio zero. Within a ratio tie the walk prefers
+		// the largest pivot magnitude (Harris-style): each flipped
+		// candidate then absorbs the most violation per flip and the
+		// eventual pivot element is large. Breaking ties by column index
+		// instead sends the walk through long chains of dual-progress-free
+		// flips that reshuffle every overlapping cut row — measured on the
+		// T=4096 scaling family, that turned warm dual repairs of ~10²
+		// pivots into 10⁴-pivot infeasibility storms.
+		//
+		// The order is realized lazily through a binary heap rather than a
+		// full sort: the walk usually consumes a handful of the thousands
+		// of candidates a wide pivot row yields, so heapify-plus-pops costs
+		// O(k + consumed·log k) where the former full sort paid O(k·log k)
+		// on every pivot — at T = 8192 that sort alone was ~a fifth of the
+		// whole solve. Pop order is identical to the sorted order, so the
+		// pivot sequence is unchanged.
+		heapifyDualCands(cands)
 		target := 0.0
 		if above {
 			target = t.upper[t.basis[row]]
@@ -894,7 +1196,12 @@ func (t *revised) dualIterate(budget *int) Status {
 		var colDir float64
 		flips := 0
 		xrow := t.xB[row] // tracked analytically across flips via alpha
-		for _, cd := range cands {
+		for len(cands) > 0 {
+			cd := cands[0]
+			last := len(cands) - 1
+			cands[0] = cands[last]
+			cands = cands[:last]
+			siftDualCand(cands, 0)
 			j := int(cd.col)
 			// Re-check eligibility against live bound state: t.touched can
 			// list a column twice (its alpha cancelled to zero mid-sweep and
@@ -956,6 +1263,90 @@ func (t *revised) dualIterate(budget *int) Status {
 		t.ftran(col)
 		t.applyPivot(row, col, colDir, delta, above, true)
 	}
+}
+
+// coldSolve builds a fresh engine state for p and solves from scratch.
+// Under the steepest-edge and devex rules it first tries the dual-feasible
+// cold start: when every negative-cost structural column has a finite
+// upper bound, resting each structural on the bound its cost sign prefers
+// makes the all-logical basis (slack for LE, surplus for GE, the
+// artificial pinned to [0,0] as an exact equality slack for EQ) dual
+// feasible outright, and the bounded dual simplex drives the primal
+// violations out with no phase 1, no artificial costs, and — the
+// all-logical basis being a signed permutation — an exactly initialized
+// steepest-edge weight set. Covering masters are the textbook case:
+// minimize Σy over y ≤ 1 with a·y ≥ b rows is dual feasible at y = 0.
+//
+// Only a verified-able Optimal is accepted from that start: any other
+// verdict — in particular an Infeasible claim, which from the float dual
+// simplex can be a pivot-tolerance artifact — is re-derived on a fresh
+// state by the classic two-phase solve, whose phase-1 verdict remains the
+// engine's only cold infeasibility certificate. The discarded attempt's
+// pivots still count toward the returned state's per-call totals. Under
+// the Dantzig rule (pinned to the PR 4 baseline behavior) or when some
+// column needs its infinite bound, two-phase runs directly.
+func coldSolve(p *Problem, budget *int) (*revised, Status) {
+	t := newRevised(p)
+	if t.rule != PricingDantzig && t.dualColdStart() {
+		st := t.dualIterate(budget)
+		if st == Optimal {
+			st = t.primalIterate(false, budget)
+		}
+		if st == Optimal {
+			return t, st
+		}
+		spentPivots, spentRefactors := t.pivots, t.refactors
+		t = newRevised(p)
+		t.pivotsAtCall = -spentPivots
+		t.refactorsAtCall = -spentRefactors
+	}
+	return t, t.runTwoPhase(budget)
+}
+
+// dualColdStart installs the dual-feasible all-logical starting basis
+// described at runCold, reporting false (with the state untouched) when a
+// negative-cost column's infinite upper bound makes it inapplicable.
+func (t *revised) dualColdStart() bool {
+	for j := 0; j < t.n; j++ {
+		if t.cost[j] < 0 && math.IsInf(t.upper[j], 1) {
+			return false
+		}
+	}
+	for r := 0; r < t.m; r++ {
+		logs := t.rowLogs[r]
+		bas := int(logs[0])
+		for _, lc := range logs {
+			if !t.isArt[lc] {
+				bas = int(lc)
+				break
+			}
+		}
+		if t.isArt[bas] {
+			// An EQ row's artificial is its pinned slack: forcing it back
+			// into [0,0] is exactly the equality.
+			t.upper[bas] = 0
+		}
+		old := t.basis[r]
+		if old != bas {
+			t.inBasis[old] = false
+			t.whereBasic[old] = -1
+			t.atUpper[old] = false
+			t.basis[r] = bas
+			t.inBasis[bas] = true
+			t.whereBasic[bas] = r
+		}
+	}
+	for j := 0; j < t.n; j++ {
+		t.atUpper[j] = t.cost[j] < 0
+	}
+	// The installed basis is a signed permutation: every inverse row has
+	// norm exactly 1, so the weight set starts exact.
+	for i := range t.dseW {
+		t.dseW[i] = 1
+	}
+	t.dseStale = false
+	t.factorStale = true
+	return true
 }
 
 // runTwoPhase executes the cold two-phase solve.
@@ -1195,6 +1586,7 @@ func (t *revised) growRows() {
 	t.rho = growF(t.rho)
 	t.y = growF(t.y)
 	t.flipAcc = growF(t.flipAcc)
+	t.tau = growF(t.tau)
 }
 
 // appendProblemRows incorporates rows added to the problem since the state
@@ -1259,6 +1651,7 @@ func (t *revised) appendRow(row []entry, rel Relation, b float64, xs []float64) 
 	t.probRow = append(t.probRow, int32(i))
 	t.inBasis[s] = true
 	t.whereBasic[s] = i
+	t.dseW = append(t.dseW, -1) // priced lazily by ensureWeights
 	t.m++
 }
 
@@ -1401,7 +1794,11 @@ func (t *revised) removeRows(drop []int) error {
 	t.inBasis = t.inBasis[:nc]
 
 	// Basis positions: drop the removed rows' basic logicals, keep every
-	// surviving basic value bit-for-bit.
+	// surviving basic value bit-for-bit. Pricing weights compact the same
+	// way and stay exact: with the dead position holding a unit column,
+	// the inverse is block triangular and each surviving row of the
+	// reduced inverse is the old row restricted to surviving columns,
+	// whose extra entries were all zero — the norms do not change.
 	np := 0
 	for p := 0; p < m; p++ {
 		if deadPos[p] {
@@ -1409,10 +1806,16 @@ func (t *revised) removeRows(drop []int) error {
 		}
 		t.basis[np] = int(colMap[t.basis[p]])
 		t.xB[np] = t.xB[p]
+		t.dseW[np] = t.dseW[p]
 		np++
 	}
 	t.basis = t.basis[:np]
 	t.xB = t.xB[:np]
+	t.dseW = t.dseW[:np]
+	// Logical column indices shifted; the candidate list may hold stale
+	// ones, so partial pricing restarts from an empty list.
+	t.candList = t.candList[:0]
+	t.candRotor = 0
 	t.m = np
 	t.whereBasic = t.whereBasic[:nc]
 	for j := range t.whereBasic {
@@ -1439,6 +1842,116 @@ func (t *revised) removeRows(drop []int) error {
 	t.rowsBuilt = npr
 	t.factorStale = true
 	return nil
+}
+
+// newCrashRevised builds a fresh engine state for p whose starting basis is
+// seeded ("crashed") from the surviving columns of a failed warm state:
+// every structural column basic in the warm basis is installed as the basic
+// column of its problem row's fresh engine row, warm rows resting on one of
+// their logicals keep a non-artificial logical basic (surplus/slack role is
+// preserved across the differing materializations — a warm-appended GE cut
+// carries one slack on the negated row, the fresh build a surplus on the
+// original, and both measure a·x − b), and nonbasic structural columns
+// inherit their bound status. The fresh state shares none of the warm
+// state's numerical history — the basis is factorized from verbatim rows —
+// so it escapes whatever drift or budget exhaustion broke the warm solve
+// while skipping the all-logical two-phase restart that would re-derive a
+// near-identical basis one pivot at a time. Returns nil when the seeded
+// basis is numerically singular; the caller then falls back to the plain
+// two-phase cold solve.
+func newCrashRevised(p *Problem, warm *revised) *revised {
+	if warm == nil || warm.n != p.numVars || warm.rowsBuilt != len(p.rows) {
+		return nil
+	}
+	t := newRevised(p)
+	// Warm engine row -> problem row (warm rows can be a permuted subset
+	// after earlier appends and removals; problem-row indices are the
+	// shared coordinate system).
+	rowOf := make([]int32, warm.m)
+	for i := range rowOf {
+		rowOf[i] = -1
+	}
+	for pr, er := range warm.probRow {
+		if er >= 0 {
+			rowOf[er] = int32(pr)
+		}
+	}
+	for i := 0; i < warm.m; i++ {
+		pr := rowOf[i]
+		if pr < 0 {
+			continue
+		}
+		er := int(t.probRow[pr])
+		if er < 0 {
+			continue // presolved away in the fresh build
+		}
+		wc := warm.basis[i]
+		nc := wc
+		if wc >= warm.n {
+			// The warm row rested on one of its logicals; adopt the fresh
+			// row's non-artificial logical (the artificial only for EQ
+			// rows, whose sole logical it is).
+			logs := t.rowLogs[er]
+			nc = int(logs[0])
+			for _, lc := range logs {
+				if !t.isArt[lc] {
+					nc = int(lc)
+					break
+				}
+			}
+		}
+		old := t.basis[er]
+		if nc == old || t.inBasis[nc] {
+			continue
+		}
+		t.inBasis[old] = false
+		t.whereBasic[old] = -1
+		t.atUpper[old] = false
+		t.basis[er] = nc
+		t.inBasis[nc] = true
+		t.whereBasic[nc] = er
+	}
+	for j := 0; j < t.n; j++ {
+		if !t.inBasis[j] && !math.IsInf(t.upper[j], 1) {
+			t.atUpper[j] = warm.atUpper[j] && !warm.inBasis[j]
+		}
+	}
+	if !t.factorizeNow() {
+		return nil
+	}
+	// A crash basis is not all-logical, so the steepest-edge weight set
+	// cannot start exact; devex carries the pricing for this state.
+	if t.rule == PricingSteepestEdge {
+		t.dseStale = true
+	}
+	return t
+}
+
+// crashPrep readies a crash state for the dual simplex: with the phase-2
+// reduced costs freshly derived, every nonbasic column with a finite upper
+// bound is rested on its dual-feasible bound (red < 0 ⟹ upper, red > 0 ⟹
+// lower — bound flips are free in bounded simplex), and the basic values
+// are re-derived against the flipped bound states. Columns with infinite
+// upper bounds and negative reduced costs remain dual infeasible; the
+// primal clean-up pass after the dual repair absorbs them, and the verify
+// layer guards the result like every other solve.
+func (t *revised) crashPrep() {
+	t.setPhaseCost(false)
+	t.refreshRed()
+	if t.broken {
+		return
+	}
+	for j := range t.red {
+		if t.inBasis[j] || t.isArt[j] || math.IsInf(t.upper[j], 1) {
+			continue
+		}
+		if t.red[j] < -eps {
+			t.atUpper[j] = true
+		} else if t.red[j] > eps {
+			t.atUpper[j] = false
+		}
+	}
+	t.refreshXB()
 }
 
 // structuralX extracts the structural variable values from the basis and
