@@ -6,6 +6,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"sort"
 	"testing"
 )
 
@@ -19,6 +20,10 @@ type benchSchema struct {
 	ID      string   `json:"id"`
 	Name    string   `json:"name"`
 	Columns []string `json:"columns"`
+	// Kernel pins which experiments expose a kernel digest and its exact
+	// key set — but not its values, which are deterministic per box/arch
+	// yet not across them.
+	Kernel []string `json:"kernel,omitempty"`
 }
 
 // TestBenchJSONSchemaGolden locks the machine-readable benchmark schema:
@@ -46,8 +51,12 @@ func TestBenchJSONSchemaGolden(t *testing.T) {
 	}
 	wantKeys := []string{"columns", "id", "millis", "name", "rows"}
 	for i, rec := range raw {
-		if len(rec) != len(wantKeys) {
-			t.Fatalf("record %d has %d keys, want %d (%v)", i, len(rec), len(wantKeys), rec)
+		extra := 0
+		if _, ok := rec["kernel"]; ok {
+			extra = 1
+		}
+		if len(rec) != len(wantKeys)+extra {
+			t.Fatalf("record %d has %d keys, want %d (%v)", i, len(rec), len(wantKeys)+extra, rec)
 		}
 		for _, k := range wantKeys {
 			if _, ok := rec[k]; !ok {
@@ -56,10 +65,25 @@ func TestBenchJSONSchemaGolden(t *testing.T) {
 		}
 	}
 
-	// Schema-level pin: id/name/columns of every experiment, in order.
-	var records []benchSchema
-	if err := json.Unmarshal(data, &records); err != nil {
+	// Schema-level pin: id/name/columns of every experiment, in order,
+	// plus the key set (not the values) of any kernel digest.
+	var full []benchRecord
+	if err := json.Unmarshal(data, &full); err != nil {
 		t.Fatal(err)
+	}
+	records := make([]benchSchema, len(full))
+	for i, rec := range full {
+		records[i] = benchSchema{ID: rec.ID, Name: rec.Name, Columns: rec.Columns}
+		kern, ok := raw[i]["kernel"].(map[string]any)
+		if !ok {
+			continue
+		}
+		keys := make([]string, 0, len(kern))
+		for k := range kern {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		records[i].Kernel = keys
 	}
 	got, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {

@@ -4,13 +4,23 @@
 //
 // Usage:
 //
-//	paperbench [-quick] [-only E5] [-seed 7] [-bench-json out.json]
+//	paperbench [-quick] [-only E5] [-seed 7] [-bench-json out.json] [-merge-bench traj.json -label pr6]
 //
 // With -bench-json, per-experiment wall times are also written to the given
 // path as a JSON array (one object per experiment: id, name, millis, rows,
 // columns — the table's column headers, so downstream bench tooling can pin
-// the effort columns it parses), feeding the machine-readable benchmark
-// trajectory. The golden test in this package locks the schema.
+// the effort columns it parses — and, for experiments that report one, a
+// kernel digest of deterministic simplex-kernel counters), feeding the
+// machine-readable benchmark trajectory. The golden test in this package
+// locks the schema.
+//
+// With -merge-bench, the run's records are appended to a committed
+// benchmark-trajectory file as a new labelled entry, after a monotone
+// non-regression gate against the latest existing entry: the experiment
+// set must not shrink, no experiment may lose table columns, and the
+// kernel digest's hypersparse share must not collapse. Wall times are
+// recorded but deliberately not gated — they are machine-dependent; the
+// gated metrics are the deterministic ones.
 package main
 
 import (
@@ -32,15 +42,98 @@ func main() {
 }
 
 // benchRecord is one experiment's machine-readable timing. Its JSON schema
-// (keys, experiment IDs/names, table columns) is pinned by the golden test;
-// renaming a key or an effort column is a breaking change for downstream
-// bench tooling and must update the golden file deliberately.
+// (keys, experiment IDs/names, table columns, kernel digest keys) is pinned
+// by the golden test; renaming a key or an effort column is a breaking
+// change for downstream bench tooling and must update the golden file
+// deliberately.
 type benchRecord struct {
-	ID      string   `json:"id"`
-	Name    string   `json:"name"`
-	Millis  float64  `json:"millis"`
-	Rows    int      `json:"rows"`
-	Columns []string `json:"columns"`
+	ID      string                     `json:"id"`
+	Name    string                     `json:"name"`
+	Millis  float64                    `json:"millis"`
+	Rows    int                        `json:"rows"`
+	Columns []string                   `json:"columns"`
+	Kernel  *experiments.KernelSummary `json:"kernel,omitempty"`
+}
+
+// trajectoryEntry is one labelled run in the committed benchmark
+// trajectory (BENCH_TRAJECTORY.json at the repo root).
+type trajectoryEntry struct {
+	Label   string        `json:"label"`
+	Records []benchRecord `json:"records"`
+}
+
+type trajectory struct {
+	Entries []trajectoryEntry `json:"entries"`
+}
+
+// mergeTrajectory appends records as a new entry to the trajectory at
+// path, gating first against the latest existing entry. A regression
+// returns an error without touching the file.
+func mergeTrajectory(path, label string, records []benchRecord) error {
+	var traj trajectory
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &traj); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if n := len(traj.Entries); n > 0 {
+		if err := checkNonRegression(traj.Entries[n-1], records); err != nil {
+			return fmt.Errorf("bench trajectory regression vs entry %q: %w", traj.Entries[n-1].Label, err)
+		}
+	}
+	traj.Entries = append(traj.Entries, trajectoryEntry{Label: label, Records: records})
+	data, err := json.MarshalIndent(traj, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing trajectory: %w", err)
+	}
+	return nil
+}
+
+// checkNonRegression enforces the monotone gates between the previous
+// trajectory entry and the new records, over the experiments the new run
+// produced (a -only run gates just that experiment): none of those may
+// have disappeared conceptually — they are present by construction — but
+// each must keep every table column it ever had and must not collapse its
+// kernel digest. Experiments in prev that the new run did not execute are
+// left alone, so partial (-only) runs compose with full ones.
+func checkNonRegression(prev trajectoryEntry, records []benchRecord) error {
+	prevByID := make(map[string]benchRecord, len(prev.Records))
+	for _, r := range prev.Records {
+		prevByID[r.ID] = r
+	}
+	for _, r := range records {
+		p, ok := prevByID[r.ID]
+		if !ok {
+			continue // new experiment: trivially non-regressing
+		}
+		have := make(map[string]bool, len(r.Columns))
+		for _, c := range r.Columns {
+			have[c] = true
+		}
+		for _, c := range p.Columns {
+			if !have[c] {
+				return fmt.Errorf("%s dropped column %q", r.ID, c)
+			}
+		}
+		if p.Kernel != nil {
+			if r.Kernel == nil {
+				return fmt.Errorf("%s dropped its kernel digest", r.ID)
+			}
+			// Generous floor: legitimate retunes move the share a little,
+			// losing the hypersparse path entirely zeroes it.
+			if r.Kernel.HyperShare < p.Kernel.HyperShare-0.15 {
+				return fmt.Errorf("%s hypersparse share collapsed: %.3f -> %.3f",
+					r.ID, p.Kernel.HyperShare, r.Kernel.HyperShare)
+			}
+		}
+	}
+	return nil
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -49,8 +142,13 @@ func run(args []string, stdout io.Writer) error {
 	only := fs.String("only", "", "run a single experiment by ID (e.g. E5)")
 	seed := fs.Int64("seed", 7, "random seed for workload generation")
 	benchJSON := fs.String("bench-json", "", "write per-experiment wall times as JSON to this path")
+	mergeBench := fs.String("merge-bench", "", "append this run to the benchmark-trajectory JSON at the given path (gated, see package doc)")
+	label := fs.String("label", "", "entry label for -merge-bench (required with it)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *mergeBench != "" && *label == "" {
+		return fmt.Errorf("-merge-bench requires -label")
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
@@ -71,6 +169,7 @@ func run(args []string, stdout io.Writer) error {
 				Millis:  float64(elapsed.Microseconds()) / 1000,
 				Rows:    len(tab.Rows),
 				Columns: tab.Columns,
+				Kernel:  tab.Kernel,
 			})
 		})
 	if err != nil {
@@ -84,6 +183,11 @@ func run(args []string, stdout io.Writer) error {
 		data = append(data, '\n')
 		if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
 			return fmt.Errorf("writing bench json: %w", err)
+		}
+	}
+	if *mergeBench != "" {
+		if err := mergeTrajectory(*mergeBench, *label, records); err != nil {
+			return err
 		}
 	}
 	return nil

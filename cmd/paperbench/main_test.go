@@ -6,6 +6,8 @@ import (
 	"os"
 	"strings"
 	"testing"
+
+	"repro/internal/experiments"
 )
 
 func TestRunSingleExperiment(t *testing.T) {
@@ -64,5 +66,57 @@ func TestRunAllQuick(t *testing.T) {
 		if !strings.Contains(buf.String(), id) {
 			t.Errorf("output missing %s", id)
 		}
+	}
+}
+
+// TestMergeTrajectoryGate exercises the -merge-bench non-regression gate
+// directly: appending compatible records extends the trajectory, dropping
+// a column or collapsing the kernel digest is rejected without touching
+// the file, and partial runs leave unexecuted experiments ungated.
+func TestMergeTrajectoryGate(t *testing.T) {
+	path := t.TempDir() + "/traj.json"
+	kern := &experiments.KernelSummary{HyperShare: 0.35, FtranAvgNNZ: 190, BtranAvgNNZ: 320, RowRefills: 12, Pivots: 100}
+	base := []benchRecord{
+		{ID: "E18", Name: "pivot cost", Millis: 5, Rows: 4, Columns: []string{"T", "pivots"}, Kernel: kern},
+		{ID: "E17", Name: "lp scaling", Millis: 3, Rows: 2, Columns: []string{"T", "ms"}},
+	}
+	if err := mergeTrajectory(path, "pr5", base); err != nil {
+		t.Fatalf("initial merge: %v", err)
+	}
+	// Compatible growth: extra column, slightly moved kernel share, and a
+	// partial run that omits E17 entirely.
+	next := []benchRecord{
+		{ID: "E18", Columns: []string{"T", "pivots", "hyp%"},
+			Kernel: &experiments.KernelSummary{HyperShare: 0.30, Pivots: 90}},
+	}
+	if err := mergeTrajectory(path, "pr6", next); err != nil {
+		t.Fatalf("compatible merge: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var traj trajectory
+	if err := json.Unmarshal(data, &traj); err != nil {
+		t.Fatal(err)
+	}
+	if len(traj.Entries) != 2 || traj.Entries[0].Label != "pr5" || traj.Entries[1].Label != "pr6" {
+		t.Fatalf("unexpected trajectory after merges: %+v", traj)
+	}
+	for _, bad := range []struct {
+		name string
+		recs []benchRecord
+	}{
+		{"dropped column", []benchRecord{{ID: "E18", Columns: []string{"T"}, Kernel: kern}}},
+		{"dropped kernel digest", []benchRecord{{ID: "E18", Columns: []string{"T", "pivots", "hyp%"}}}},
+		{"collapsed hypersparse share", []benchRecord{{ID: "E18", Columns: []string{"T", "pivots", "hyp%"},
+			Kernel: &experiments.KernelSummary{HyperShare: 0.01}}}},
+	} {
+		if err := mergeTrajectory(path, "bad", bad.recs); err == nil {
+			t.Errorf("%s: merge accepted", bad.name)
+		}
+	}
+	if after, err := os.ReadFile(path); err != nil || !bytes.Equal(after, data) {
+		t.Errorf("rejected merges modified the trajectory file")
 	}
 }

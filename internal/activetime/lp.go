@@ -26,6 +26,10 @@ type LPResult struct {
 	// the basis refactorizations across all master solves. Both are zero
 	// for pipelines that disable the corresponding machinery.
 	Purged, Refactors int
+	// Kernel aggregates the simplex engine's triangular-solve kernel
+	// activity across all master solves: hypersparse-vs-dense path counts,
+	// hypersparse result supports, and dual working-set refills.
+	Kernel lp.KernelStats
 }
 
 // newMaster builds the Benders master over the y variables: unit objective,
@@ -131,6 +135,13 @@ type lpOptions struct {
 	batchCap int            // cuts per separation round; 0 = adaptive in the horizon
 	purge    bool           // purge persistently slack cuts between rounds
 	pricing  lp.PricingRule // master pricing rule (zero value = steepest edge)
+	// denseKernels pins the master's triangular solves to the dense path
+	// (lp.Problem.SetDenseKernels); pivotHook observes every master basis
+	// change (lp.Problem.SetPivotHook). Both exist for the kernel
+	// equivalence suite, which replays identical pipelines under both
+	// kernel paths and asserts identical pivot sequences.
+	denseKernels bool
+	pivotHook    func(row, col int)
 }
 
 func solveLP(in *core.Instance, opts lpOptions) (*LPResult, error) {
@@ -146,6 +157,8 @@ func solveLP(in *core.Instance, opts lpOptions) (*LPResult, error) {
 		return nil, err
 	}
 	prob.SetPricing(opts.pricing)
+	prob.SetDenseKernels(opts.denseKernels)
+	prob.SetPivotHook(opts.pivotHook)
 	batchCap := opts.batchCap
 	if batchCap == 0 {
 		batchCap = adaptiveBatchCap(in)
@@ -168,6 +181,7 @@ func solveLP(in *core.Instance, opts lpOptions) (*LPResult, error) {
 		basis = nextBasis
 		res.Pivots += sol.Iterations
 		res.Refactors += sol.Refactors
+		res.Kernel.Accumulate(sol.Kernel)
 		y := sol.X
 		if opts.purge {
 			reg.observeX(y)

@@ -149,20 +149,33 @@ func (cr *cutRegistry) purge(prob *lp.Problem, basis *lp.Basis) int {
 // every trajectory E17/E18 locked at those sizes is unchanged.
 const maxBatchCutsHuge = 64
 
+// maxBatchCutsGiant raises the ceiling once more past T ≈ 32768: with the
+// hypersparse kernels a master repair no longer dominates a round, so the
+// fixed per-round costs (separation probe, purge scan) become the axis and
+// halving the round count pays directly. T <= 16384 keeps the 64-cap
+// trajectory every earlier experiment locked.
+const maxBatchCutsGiant = 128
+
 // adaptiveBatchCap picks the per-round cut cap from the horizon: single-cut
 // behavior below T ≈ 128 (small masters re-solve in microseconds, extra
 // rows just pad them), ramping to the full batch of 32 by T ≈ 4096 where
 // every saved separation round saves an expensive master repair, and on to
-// 64 past T ≈ 8192 where round count itself becomes the scaling axis.
-// BenchmarkSolveLPSmall pins the small end of this policy; E17/E18 and the
-// 16k endurance tests the large end.
+// 64 past T ≈ 8192 where round count itself becomes the scaling axis, and
+// 128 from T = 32768 up where the hypersparse kernels have made the
+// per-round fixed costs dominant. BenchmarkSolveLPSmall pins the small end
+// of this policy; E17/E18 and the 16k–32k endurance tests the large end.
 func adaptiveBatchCap(in *core.Instance) int {
-	c := int(in.Horizon()) / 128
+	T := int(in.Horizon())
+	c := T / 128
 	if c < 1 {
 		c = 1
 	}
-	if c > maxBatchCutsHuge {
-		c = maxBatchCutsHuge
+	ceil := maxBatchCutsHuge
+	if T >= 32768 {
+		ceil = maxBatchCutsGiant
+	}
+	if c > ceil {
+		c = ceil
 	}
 	return c
 }

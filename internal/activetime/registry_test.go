@@ -44,12 +44,16 @@ func TestCutPurgingMatchesReferences(t *testing.T) {
 
 // TestAdaptiveBatchCapPolicy pins the horizon→cap curve the benchmarks
 // justify: single-cut at tiny horizons, the classic full batch of 32 by
-// T = 4096, and the huge-horizon tier of 64 from T = 8192 up, where round
-// count itself is the scaling axis.
+// T = 4096, the huge-horizon tier of 64 from T = 8192 up, where round
+// count itself is the scaling axis, and the giant tier of 128 from
+// T = 32768 where the hypersparse kernels leave per-round fixed costs
+// dominant. T <= 16384 must keep the exact caps every locked experiment
+// trajectory was measured under.
 func TestAdaptiveBatchCapPolicy(t *testing.T) {
 	for _, tc := range []struct{ T, want int }{
 		{16, 1}, {64, 1}, {128, 1}, {256, 2}, {512, 4},
 		{1024, 8}, {2048, 16}, {4096, 32}, {8192, 64}, {16384, 64},
+		{32768, 128}, {65536, 128},
 	} {
 		in := &core.Instance{G: 1, Jobs: []core.Job{{
 			Release: 0, Deadline: core.Time(tc.T), Length: 1,

@@ -22,6 +22,22 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   []string
+	// Kernel, when set, summarizes the simplex engine's triangular-solve
+	// kernel activity on the experiment's headline run; paperbench exports
+	// it into the machine-readable bench records so the benchmark
+	// trajectory can gate on kernel behavior, not just wall time.
+	Kernel *KernelSummary
+}
+
+// KernelSummary is the deterministic kernel-counter digest of one solve:
+// everything here reproduces exactly for a pinned instance, which is what
+// makes it gateable where milliseconds are not.
+type KernelSummary struct {
+	HyperShare  float64 `json:"hyperShare"`  // fraction of FTRAN/BTRAN solved hypersparse
+	FtranAvgNNZ float64 `json:"ftranAvgNnz"` // mean result nonzeros per hypersparse FTRAN
+	BtranAvgNNZ float64 `json:"btranAvgNnz"` // mean result nonzeros per hypersparse BTRAN
+	RowRefills  int     `json:"rowRefills"`  // dual working-set refill sweeps
+	Pivots      int     `json:"pivots"`      // simplex pivots on the headline run
 }
 
 // AddRow appends a formatted row.

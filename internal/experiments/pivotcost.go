@@ -32,7 +32,8 @@ func E18PivotCost(cfg Config) (*Table, error) {
 		Title: "Pivot-cost scaling of the LU/eta simplex core (steepest-edge vs devex vs Dantzig, default vs fixed-batch)",
 		Claim: "steepest-edge pricing takes fewer, better pivots than Dantzig at every horizon; per-pivot cost tracks factor sparsity, not m²",
 		Columns: []string{"T", "n", "LP", "se-ms", "rounds", "cuts", "purged", "se-pivots",
-			"refactors", "us/pivot", "dv-ms", "dv-pivots", "dz-ms", "dz-pivots",
+			"refactors", "us/pivot", "hyp%", "ftran-nnz", "btran-nnz", "refills",
+			"dv-ms", "dv-pivots", "dz-ms", "dz-pivots",
 			"fixed32-ms", "fixed32-pivots"},
 	}
 	for _, T := range sizes {
@@ -79,12 +80,26 @@ func E18PivotCost(cfg Config) (*Table, error) {
 		tab.AddRow(di(T), di(len(in.Jobs)), f3(def.Objective),
 			fmt.Sprintf("%.1f", defMS), di(def.Rounds), di(def.Cuts), di(def.Purged),
 			di(def.Pivots), di(def.Refactors), fmt.Sprintf("%.1f", perPivot),
+			fmt.Sprintf("%.2f", def.Kernel.HyperShare()),
+			fmt.Sprintf("%.1f", def.Kernel.FtranAvgNNZ()),
+			fmt.Sprintf("%.1f", def.Kernel.BtranAvgNNZ()),
+			di(def.Kernel.RowRefills),
 			fmt.Sprintf("%.1f", devexMS), di(devex.Pivots),
 			fmt.Sprintf("%.1f", dantzigMS), di(dantzig.Pivots),
 			fmt.Sprintf("%.1f", fixedMS), di(fixed.Pivots))
+		// The largest size is the headline run whose kernel digest the
+		// bench trajectory gates on.
+		tab.Kernel = &KernelSummary{
+			HyperShare:  def.Kernel.HyperShare(),
+			FtranAvgNNZ: def.Kernel.FtranAvgNNZ(),
+			BtranAvgNNZ: def.Kernel.BtranAvgNNZ(),
+			RowRefills:  def.Kernel.RowRefills,
+			Pivots:      def.Pivots,
+		}
 	}
 	tab.Notes = append(tab.Notes,
 		"family: laminar binary containers + nested window chains, n = T/8 jobs, g = 4",
+		"hyp%/ftran-nnz/btran-nnz/refills: hypersparse kernel share, mean result nonzeros per hypersparse FTRAN/BTRAN, dual working-set refill sweeps (steepest-edge run)",
 		"identical objectives asserted (1e-6) across all four pipelines: the table doubles as a pricing/purging metamorphic check",
 		"se/dv/dz: steepest-edge (default), devex, Dantzig-baseline pricing; TestPricingPivotReduction locks the ≥2× pivot win at T = 4096",
 		"PR 2's dense-inverse engine needed ~90 s for T = 4096 on this family; see BenchmarkSolveLPLargeHorizon for the locked record")

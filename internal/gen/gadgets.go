@@ -457,3 +457,44 @@ func Fig10(g int, unit, eps, epsp core.Time) (*Fig10Gadget, error) {
 	optValue := core.Time(g)*unit + 2*core.Time(g-1)*eps
 	return &Fig10Gadget{Flexible: flexible, Converted: converted, Opt: opt, OptValue: optValue}, nil
 }
+
+// Hardness builds a chain of k selector gadgets in the spirit of the
+// NP-completeness construction for active time scheduling (Saha & Purohit,
+// arXiv:2112.03255): their reduction forces binary open-this-block-or-that
+// choices with jobs whose windows barely exceed their lengths, coupled by
+// checker jobs across blocks. Gadget i here occupies slots [3i, 3i+3): a
+// selector of length 2 whose 3-slot window admits exactly two tight
+// placements, g-1 rigid unit jobs pinned to the middle slot (saturating it
+// so the selector's placements compete for capacity), and a unit checker
+// straddling this gadget's last slot and the next gadget's first, which
+// couples consecutive gadgets and defeats any laminar decomposition. The
+// LP relaxation splits the selectors fractionally, so the Benders master is
+// maximally dual degenerate — the adversarial regime for pricing and for
+// the hypersparse kernel equivalence suite. Requires k >= 1 and g >= 2;
+// every instance is feasible with all slots open (the property suite
+// asserts it).
+func Hardness(k, g int) *core.Instance {
+	if k < 1 {
+		k = 1
+	}
+	if g < 2 {
+		g = 2
+	}
+	var jobs []core.Job
+	id := 0
+	add := func(lo, hi, length core.Time) {
+		jobs = append(jobs, core.Job{ID: id, Release: lo, Deadline: hi, Length: length})
+		id++
+	}
+	for i := 0; i < k; i++ {
+		base := core.Time(3 * i)
+		add(base, base+3, 2) // selector: two tight placements
+		for c := 0; c < g-1; c++ {
+			add(base+1, base+2, 1) // pinned units saturate the middle slot
+		}
+		if i+1 < k {
+			add(base+2, base+4, 1) // checker couples gadget i and i+1
+		}
+	}
+	return &core.Instance{Name: fmt.Sprintf("hardness(k=%d,g=%d)", k, g), G: g, Jobs: jobs}
+}

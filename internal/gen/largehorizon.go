@@ -7,7 +7,7 @@ import (
 	"repro/internal/core"
 )
 
-// LargeHorizon returns a structured instance on a horizon of up to ~16384
+// LargeHorizon returns a structured instance on a horizon of up to ~65536
 // slots, the scaling workload for the LP1 pipeline. Its shape follows the
 // instances where large active-time horizons actually arise (cf. Nested
 // Active-Time Scheduling, arXiv:2207.12507): a laminar binary split of the
@@ -15,10 +15,13 @@ import (
 // nested chains of strictly shrinking windows are layered around random
 // centers. Window supports are short relative to the horizon, so the Benders
 // master's constraint rows are highly sparse — the regime the factorized
-// (LU + eta file) revised-simplex core is built for. The canonical density
-// is N = T/8 jobs; at T = 16384 that density is the endurance workload of
-// E18 and the ROADMAP scaling record, while lighter densities (N = T/32)
-// keep the same horizon scale test-suite-affordable.
+// (LU + eta file) revised-simplex core and its hypersparse FTRAN/BTRAN
+// kernels are built for. The canonical density is N = T/8 jobs; at
+// T = 16384–32768 that density is the endurance workload of E18 and the
+// ROADMAP scaling record, while lighter densities (N = T/32) carry the same
+// structure to T = 65536 and keep big horizons test-suite-affordable.
+// TestLargeHorizonShape pins the structural invariants (validity, horizon,
+// laminar/nested mix, all-slots-open feasibility) through T = 65536.
 //
 // Lengths are clamped well below window widths (and G should be >= 2), which
 // keeps every generated instance feasible with all slots open; the property

@@ -23,18 +23,28 @@ func TestLargeHorizonTinyHorizon(t *testing.T) {
 // valid instances, the requested horizon, a mix of laminar containers and
 // nested chains, and feasibility with every slot open (the generator clamps
 // lengths so the LP pipeline never sees an infeasible scaling instance).
+// The 32768 and 65536 rows pin the invariants at the horizons the
+// hypersparse-kernel scaling runs target (canonical n = T/8 density at
+// 32768, light n = T/32 at 65536).
 func TestLargeHorizonShape(t *testing.T) {
-	for _, T := range []int{64, 256, 1024, 16384} {
+	for _, T := range []int{64, 256, 1024, 16384, 32768, 65536} {
+		if testing.Short() && T > 16384 {
+			continue // the feasibility probe alone costs seconds at these sizes
+		}
 		for seed := int64(0); seed < 3; seed++ {
-			in := LargeHorizon(RandomConfig{N: T / 8, Horizon: T, MaxLen: 16, G: 4, Seed: seed})
+			n := T / 8
+			if T > 32768 {
+				n = T / 32
+			}
+			in := LargeHorizon(RandomConfig{N: n, Horizon: T, MaxLen: 16, G: 4, Seed: seed})
 			if err := in.Validate(); err != nil {
 				t.Fatalf("T=%d seed=%d: %v", T, seed, err)
 			}
 			if got := int(in.Horizon()); got > T {
 				t.Fatalf("T=%d seed=%d: horizon %d exceeds requested %d", T, seed, got, T)
 			}
-			if len(in.Jobs) < T/16 {
-				t.Fatalf("T=%d seed=%d: only %d jobs generated", T, seed, len(in.Jobs))
+			if len(in.Jobs) < n/2 {
+				t.Fatalf("T=%d seed=%d: only %d jobs generated, want >= %d", T, seed, len(in.Jobs), n/2)
 			}
 			nested := 0
 			for i := 1; i < len(in.Jobs); i++ {

@@ -1,6 +1,9 @@
 package lp
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // factor is the factorized representation of the basis: a sparse LU
 // factorization of the basis matrix as of the last refactorization, plus a
@@ -71,13 +74,84 @@ type factor struct {
 	luNNZ int // nonzeros in L+U at the last refactorization
 
 	// Scratch for the solves and the factorization, length m, plus the
-	// column-pattern worklist. xwork must be all-zero between uses.
+	// column-pattern worklist. xwork and swork must be all-zero between
+	// uses (every solve path, dense included, restores swork on exit).
 	xwork  []float64
 	swork  []float64
 	patt   []int32
 	order  []int32 // column processing order scratch
 	counts []int32 // counting-sort scratch for the column ordering
+
+	// Hypersparse solve support (see the kernel section of the package
+	// comment). The derived adjacency below is rebuilt by refactorize;
+	// the mark arrays are stamp-versioned so solves never re-zero them.
+	posStep []int32 // basis position -> elimination step (inverse of cperm)
+	lStep   []int32 // lRow mapped through rowStep: L column adjacency in step space
+	urOff   []int32 // row-major U pattern: step j -> later columns holding j
+	urAdj   []int32
+	lrOff   []int32 // row-major L pattern: step j -> earlier columns holding j's pivot row
+	lrAdj   []int32
+	mark    []int32 // step-space visit stamps for the reach traversal
+	stamp   int32
+	pmark   []int32 // position/row-space stamps for result-pattern dedup
+	pstamp  int32
+	reach   []int32 // reach worklist scratch, elimination steps
+
+	// Bit mirrors of the reach and result-support memberships, kept
+	// all-zero between solves. They exist purely for sorted emission:
+	// sweeping ⌈m/64⌉ words ascending replaces the comparison sorts the
+	// bit-identity contract demands (reaches must be processed in
+	// elimination-step order, supports returned ascending) at O(m/64 + k)
+	// instead of O(k log k). Every exit path restores the all-zero state —
+	// sweepBits clears as it emits, fallbacks clear through the list.
+	bitReach []uint64 // step-space mirror of f.reach membership
+	bitOut   []uint64 // position/row-space mirror of a result support
+
+	// denseRun counts consecutive dense-outcome FTRANs per caller class.
+	// Aborting a reach traversal costs real work (the L reach may be fully
+	// expanded and solved before the U closure blows the cap), so once a
+	// class is in a dense regime the solver stops attempting reaches and
+	// only probes periodically; a hyper success resets the run. Pure cost
+	// control: either path yields bit-identical results.
+	denseRun [ftranClasses]int
+
+	// forceDense routes every solve down the dense kernels — the ablation
+	// hook behind Problem.SetDenseKernels. Both paths are bit-identical by
+	// construction (the equivalence suite asserts identical pivot
+	// sequences), so flipping this changes cost, never results.
+	forceDense bool
 }
+
+// FTRAN caller classes for the dense-regime predictor: the entering
+// column, the steepest-edge tau solve, and the batched bound-flip solve
+// have very different right-hand-side sparsity, so each class tracks its
+// own regime (a shared run would flap between a sparse entering stream
+// and a dense tau stream and predict neither).
+const (
+	ftranEnter = iota
+	ftranTau
+	ftranFlip
+	ftranClasses
+)
+
+// Dense-regime predictor tuning: a class enters the dense regime after
+// hyperRunMin consecutive dense outcomes and then attempts a reach only
+// every hyperProbeEvery calls.
+const (
+	hyperRunMin     = 4
+	hyperProbeEvery = 16
+)
+
+// Hypersparse path tuning.
+const (
+	// hyperMinDim: below this dimension the dense kernels win outright and
+	// every solve takes the dense path.
+	hyperMinDim = 64
+	// hyperDenseDiv: a reach traversal aborts to the dense path once the
+	// tracked closure exceeds m/hyperDenseDiv (~25% of m), so worst-case
+	// right-hand sides never pay index overhead on top of dense work.
+	hyperDenseDiv = 4
+)
 
 // basisMatrix is what refactorize needs from the engine: the sparse columns
 // of the current basis, one per basis position. It is an interface rather
@@ -138,8 +212,19 @@ func (f *factor) reset(m int) {
 		for i := range f.xwork {
 			f.xwork[i] = 0
 		}
+		for i := range f.swork {
+			f.swork[i] = 0
+		}
 	}
 	f.patt = f.patt[:0]
+}
+
+// growI32 resizes an int32 arena slice to n, reusing capacity.
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n, n+n/4+16)
+	}
+	return s[:n]
 }
 
 // clearEtas drops the eta file (the basis it encodes has just been folded
@@ -260,6 +345,150 @@ func (f *factor) refactorize(m int, src basisMatrix) bool {
 		f.lOff = append(f.lOff, int32(len(f.lRow)))
 	}
 	f.luNNZ = len(f.lRow) + len(f.uStep) + m
+	f.buildReachAdjacency()
+	return true
+}
+
+// buildReachAdjacency derives the pattern structures the hypersparse reach
+// traversals need from a fresh LU: the cperm inverse, the L column patterns
+// mapped to step space, and row-major (transposed, pattern-only) views of L
+// and U for the BTRAN-side closures. Runs once per refactorization, O(m +
+// nnz(L+U)).
+func (f *factor) buildReachAdjacency() {
+	m := f.m
+	f.posStep = growI32(f.posStep, m)
+	for k := 0; k < m; k++ {
+		f.posStep[f.cperm[k]] = int32(k)
+	}
+	f.lStep = growI32(f.lStep, len(f.lRow))
+	for e, r := range f.lRow {
+		f.lStep[e] = f.rowStep[r]
+	}
+	f.urOff, f.urAdj = transposePattern(m, f.uOff, f.uStep, f.urOff, f.urAdj)
+	f.lrOff, f.lrAdj = transposePattern(m, f.lOff, f.lStep, f.lrOff, f.lrAdj)
+	// Mark arrays track visits by stamp: slots freshly zeroed by growth can
+	// never match a bumped stamp, so no per-solve clearing is needed.
+	f.mark = growI32(f.mark, m)
+	f.pmark = growI32(f.pmark, m)
+	// A fresh factorization drops the eta file, so every class gets a
+	// fresh shot at the hyper path.
+	f.denseRun = [ftranClasses]int{}
+	// Bit mirrors hold the all-zero invariant between solves, so growth
+	// can reallocate without copying the old words.
+	if nw := (m + 63) / 64; len(f.bitReach) < nw {
+		f.bitReach = make([]uint64, nw+nw/4+8)
+		f.bitOut = make([]uint64, len(f.bitReach))
+	}
+}
+
+// sweepBits rebuilds list as the ascending set bits of bs, clearing bs as
+// it sweeps. bs must mirror list's membership exactly; the sweep is the
+// sorted-emission replacement for sorting the unordered list.
+func sweepBits(bs []uint64, list []int32) []int32 {
+	list = list[:0]
+	for w, word := range bs {
+		if word == 0 {
+			continue
+		}
+		bs[w] = 0
+		base := int32(w << 6)
+		for word != 0 {
+			list = append(list, base+int32(bits.TrailingZeros64(word)))
+			word &= word - 1
+		}
+	}
+	return list
+}
+
+// setBitList re-marks list's members after an intermediate sweep consumed
+// them (the reach is sorted once mid-solve and swept again after closure).
+func setBitList(bs []uint64, list []int32) {
+	for _, k := range list {
+		bs[k>>6] |= 1 << (uint32(k) & 63)
+	}
+}
+
+// clearBitList restores the all-zero invariant on a fallback path, where
+// the accumulated list is abandoned before any clearing sweep runs.
+func clearBitList(bs []uint64, list []int32) {
+	for _, k := range list {
+		bs[k>>6] &^= 1 << (uint32(k) & 63)
+	}
+}
+
+// transposePattern builds the pattern-only CSR transpose of (off, adj) over
+// m nodes into the reusable arenas (tOff, tAdj).
+func transposePattern(m int, off, adj []int32, tOff, tAdj []int32) ([]int32, []int32) {
+	tOff = growI32(tOff, m+1)
+	for j := 0; j <= m; j++ {
+		tOff[j] = 0
+	}
+	for _, j := range adj {
+		tOff[j+1]++
+	}
+	for j := 0; j < m; j++ {
+		tOff[j+1] += tOff[j]
+	}
+	tAdj = growI32(tAdj, len(adj))
+	for k := 0; k < m; k++ {
+		for e := off[k]; e < off[k+1]; e++ {
+			j := adj[e]
+			tAdj[tOff[j]] = int32(k)
+			tOff[j]++
+		}
+	}
+	for j := m; j > 0; j-- {
+		tOff[j] = tOff[j-1]
+	}
+	tOff[0] = 0
+	return tOff, tAdj
+}
+
+// newStamp advances the step-space visit stamp, clearing the mark array on
+// the (effectively unreachable) int32 wraparound.
+func (f *factor) newStamp() {
+	if f.stamp == math.MaxInt32 {
+		for i := range f.mark {
+			f.mark[i] = 0
+		}
+		f.stamp = 0
+	}
+	f.stamp++
+}
+
+// newPStamp is newStamp for the position/row-space pattern marks.
+func (f *factor) newPStamp() {
+	if f.pstamp == math.MaxInt32 {
+		for i := range f.pmark {
+			f.pmark[i] = 0
+		}
+		f.pstamp = 0
+	}
+	f.pstamp++
+}
+
+// expandReach closes the pre-seeded, pre-marked worklist f.reach over the
+// CSR pattern (off, adj), appending newly reached steps. It reports false —
+// the dense-fallback signal — once the closure would exceed capN steps.
+func (f *factor) expandReach(off, adj []int32, capN int) bool {
+	reach, mark, stamp := f.reach, f.mark, f.stamp
+	bs := f.bitReach
+	for head := 0; head < len(reach); head++ {
+		k := reach[head]
+		for e := off[k]; e < off[k+1]; e++ {
+			s := adj[e]
+			if mark[s] != stamp {
+				mark[s] = stamp
+				if len(reach) >= capN {
+					f.reach = reach
+					return false
+				}
+				bs[s>>6] |= 1 << (uint32(s) & 63)
+				reach = append(reach, s)
+			}
+		}
+	}
+	f.reach = reach
 	return true
 }
 
@@ -277,11 +506,35 @@ func (f *factor) pushEta(pos int, w []float64) {
 	f.etaOff = append(f.etaOff, int32(len(f.etaIdx)))
 }
 
-// ftran solves B·x = v in place: on entry v holds a right-hand side indexed
-// by engine row; on return it holds the solution indexed by basis position.
+// pushEtaSparse is pushEta for a pivot column whose support is listed in
+// wind (sorted ascending, so the recorded eta entries match the dense
+// scan's order bit for bit; a superset with exact zeros is fine — zeros are
+// skipped exactly as the dense scan skips them).
+func (f *factor) pushEtaSparse(pos int, w []float64, wind []int32) {
+	f.etaPos = append(f.etaPos, int32(pos))
+	f.etaPiv = append(f.etaPiv, w[pos])
+	for _, i := range wind {
+		if wi := w[i]; wi != 0 && int(i) != pos {
+			f.etaIdx = append(f.etaIdx, i)
+			f.etaVal = append(f.etaVal, wi)
+		}
+	}
+	f.etaOff = append(f.etaOff, int32(len(f.etaIdx)))
+}
+
+// ftran solves B·x = v in place through the dense kernels: on entry v holds
+// a right-hand side indexed by engine row; on return it holds the solution
+// indexed by basis position. The hypersparse entry point is ftranSparse;
+// this dense chain doubles as its fallback, phase by phase.
 func (f *factor) ftran(v []float64) {
+	f.ftranLDense(v)
+	f.ftranUDense(v)
+	f.ftranEtasDense(v)
+}
+
+// ftranLDense is the dense forward solve through L (engine-row space).
+func (f *factor) ftranLDense(v []float64) {
 	m := f.m
-	// Forward solve through L (engine-row space).
 	for k := 0; k < m; k++ {
 		zk := v[f.perm[k]]
 		if zk == 0 {
@@ -291,23 +544,34 @@ func (f *factor) ftran(v []float64) {
 			v[f.lRow[e]] -= f.lVal[e] * zk
 		}
 	}
-	// Backward solve through U (elimination-step space), result gathered
-	// into scratch then scattered to basis positions.
+}
+
+// ftranUDense is the dense backward solve through U (elimination-step
+// space), result gathered into scratch then scattered to basis positions.
+// It restores the swork all-zero invariant on exit.
+func (f *factor) ftranUDense(v []float64) {
+	m := f.m
 	y := f.swork
 	for k := m - 1; k >= 0; k-- {
-		yk := v[f.perm[k]] / f.uDiag[k]
-		y[k] = yk
-		if yk == 0 {
+		pv := v[f.perm[k]]
+		if pv == 0 {
+			y[k] = 0
 			continue
 		}
+		yk := pv / f.uDiag[k]
+		y[k] = yk
 		for e := f.uOff[k]; e < f.uOff[k+1]; e++ {
 			v[f.perm[f.uStep[e]]] -= f.uVal[e] * yk
 		}
 	}
 	for k := 0; k < m; k++ {
 		v[f.cperm[k]] = y[k]
+		y[k] = 0
 	}
-	// Eta file, oldest first (position space).
+}
+
+// ftranEtasDense applies the eta file, oldest first (position space).
+func (f *factor) ftranEtasDense(v []float64) {
 	for e := 0; e < len(f.etaPos); e++ {
 		r := f.etaPos[e]
 		vr := v[r]
@@ -322,11 +586,18 @@ func (f *factor) ftran(v []float64) {
 	}
 }
 
-// btran solves Bᵀ·y = v in place: on entry v is indexed by basis position;
-// on return it holds the solution indexed by engine row.
+// btran solves Bᵀ·y = v in place through the dense kernels: on entry v is
+// indexed by basis position; on return it holds the solution indexed by
+// engine row. btranSparse is the hypersparse entry point; these phases
+// double as its fallback.
 func (f *factor) btran(v []float64) {
-	m := f.m
-	// Eta transposes, newest first (position space).
+	f.btranEtasDense(v)
+	f.btranUTDense(v)
+	f.btranLTDense(v)
+}
+
+// btranEtasDense applies the eta transposes, newest first (position space).
+func (f *factor) btranEtasDense(v []float64) {
 	for e := len(f.etaPos) - 1; e >= 0; e-- {
 		r := f.etaPos[e]
 		s := 0.0
@@ -335,7 +606,12 @@ func (f *factor) btran(v []float64) {
 		}
 		v[r] = (v[r] - s) / f.etaPiv[e]
 	}
-	// Forward solve through Uᵀ (elimination-step space).
+}
+
+// btranUTDense is the dense forward solve through Uᵀ (elimination-step
+// space), gathered into swork.
+func (f *factor) btranUTDense(v []float64) {
+	m := f.m
 	z := f.swork
 	for k := 0; k < m; k++ {
 		zk := v[f.cperm[k]]
@@ -344,7 +620,13 @@ func (f *factor) btran(v []float64) {
 		}
 		z[k] = zk / f.uDiag[k]
 	}
-	// Backward solve through Lᵀ, then scatter to engine rows.
+}
+
+// btranLTDense is the dense backward solve through Lᵀ plus the scatter to
+// engine rows. It restores the swork all-zero invariant on exit.
+func (f *factor) btranLTDense(v []float64) {
+	m := f.m
+	z := f.swork
 	for k := m - 1; k >= 0; k-- {
 		yk := z[k]
 		for e := f.lOff[k]; e < f.lOff[k+1]; e++ {
@@ -354,5 +636,245 @@ func (f *factor) btran(v []float64) {
 	}
 	for k := 0; k < m; k++ {
 		v[f.perm[k]] = z[k]
+		z[k] = 0
 	}
+}
+
+// ftranSparse solves B·x = v like ftran, exploiting a sparse right-hand
+// side: vind lists the engine rows where v may be nonzero (order and
+// duplicates are irrelevant; a superset of the true support is fine). On
+// the hypersparse path the triangular solves visit only the symbolic
+// nonzero closure — the Gilbert–Peierls reach of the RHS support over the
+// factor column patterns — and the result's support comes back as sorted,
+// duplicate-free basis positions appended to out, with sparse = true. When
+// a closure exceeds the density threshold (or the dimension is tiny, or
+// forceDense is set) the solve completes through the dense phase kernels
+// from wherever it is and returns sparse = false with out empty. v is a
+// valid dense result either way.
+//
+// Both paths are arithmetically bit-identical: the reach is processed in
+// elimination-step order — ascending through L, descending through U —
+// which is exactly the dense loop order with its guaranteed-zero
+// contributions elided, so no accumulation is ever reordered. That
+// equivalence is what lets the pricing layers switch paths per solve
+// without perturbing a single pivot.
+func (f *factor) ftranSparse(v []float64, vind []int32, out []int32, class int) ([]int32, bool) {
+	out = out[:0]
+	m := f.m
+	if f.forceDense || m < hyperMinDim {
+		f.ftran(v)
+		return out, false
+	}
+	capN := m / hyperDenseDiv
+	// Symbolic reach through L: close the RHS support (mapped to
+	// elimination steps) over the L column patterns.
+	f.newStamp()
+	reach := f.reach[:0]
+	mark, stamp := f.mark, f.stamp
+	for _, r := range vind {
+		k := f.rowStep[r]
+		if mark[k] != stamp {
+			mark[k] = stamp
+			f.bitReach[k>>6] |= 1 << (uint32(k) & 63)
+			reach = append(reach, k)
+		}
+	}
+	f.reach = reach
+	if len(f.reach) > capN || !f.expandReach(f.lOff, f.lStep, capN) {
+		clearBitList(f.bitReach, f.reach)
+		f.ftran(v)
+		return out, false
+	}
+	f.reach = sweepBits(f.bitReach, f.reach)
+	setBitList(f.bitReach, f.reach)
+	// Forward solve through L over the reach, ascending step order.
+	for _, k := range f.reach {
+		zk := v[f.perm[k]]
+		if zk == 0 {
+			continue
+		}
+		for e := f.lOff[k]; e < f.lOff[k+1]; e++ {
+			v[f.lRow[e]] -= f.lVal[e] * zk
+		}
+	}
+	// Close the post-L support over the U column patterns, in place: the L
+	// reach seeds the U reach. In a dense-U regime, skip the expansion
+	// between probes: the attempt is capN-bounded wasted work whenever it
+	// aborts, and by this point the cheap sparse L phase is already banked.
+	if f.denseRun[class] >= hyperRunMin && f.denseRun[class]%hyperProbeEvery != 0 {
+		f.denseRun[class]++
+		clearBitList(f.bitReach, f.reach)
+		f.ftranUDense(v)
+		f.ftranEtasDense(v)
+		return out, false
+	}
+	if !f.expandReach(f.uOff, f.uStep, capN) {
+		f.denseRun[class]++
+		clearBitList(f.bitReach, f.reach)
+		f.ftranUDense(v)
+		f.ftranEtasDense(v)
+		return out, false
+	}
+	f.denseRun[class] = 0
+	f.reach = sweepBits(f.bitReach, f.reach)
+	reach = f.reach
+	// Backward solve through U over the reach, descending step order,
+	// gathered into swork.
+	y := f.swork
+	for i := len(reach) - 1; i >= 0; i-- {
+		k := reach[i]
+		yk := v[f.perm[k]] / f.uDiag[k]
+		y[k] = yk
+		if yk == 0 {
+			continue
+		}
+		for e := f.uOff[k]; e < f.uOff[k+1]; e++ {
+			v[f.perm[f.uStep[e]]] -= f.uVal[e] * yk
+		}
+	}
+	// Consume the engine-row entries, then scatter the result to basis
+	// positions — two passes, since a position slot may alias a still-
+	// unconsumed row slot.
+	for _, k := range reach {
+		v[f.perm[k]] = 0
+	}
+	f.newPStamp()
+	pmark, pstamp := f.pmark, f.pstamp
+	bs := f.bitOut
+	for _, k := range reach {
+		p := f.cperm[k]
+		v[p] = y[k]
+		y[k] = 0
+		pmark[p] = pstamp
+		bs[p>>6] |= 1 << (uint32(p) & 63)
+		out = append(out, p)
+	}
+	// Eta file, oldest first, tracking new support as it appears.
+	for e := 0; e < len(f.etaPos); e++ {
+		r := f.etaPos[e]
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		vr /= f.etaPiv[e]
+		v[r] = vr
+		for q := f.etaOff[e]; q < f.etaOff[e+1]; q++ {
+			idx := f.etaIdx[q]
+			v[idx] -= f.etaVal[q] * vr
+			if pmark[idx] != pstamp {
+				pmark[idx] = pstamp
+				bs[idx>>6] |= 1 << (uint32(idx) & 63)
+				out = append(out, idx)
+			}
+		}
+	}
+	if len(out) > capN {
+		clearBitList(bs, out)
+		return out[:0], false
+	}
+	return sweepBits(bs, out), true
+}
+
+// btranSparse solves Bᵀ·y = v like btran for a right-hand side with support
+// vind (basis positions; superset and duplicates fine), mirroring
+// ftranSparse's contract and fallback: the result's support comes back as
+// sorted engine rows with sparse = true, or the solve completes densely
+// with sparse = false. The eta pass always walks the whole file — each eta
+// reads its full recorded row, so there is nothing to elide — which keeps
+// it O(nnz(etas)) on every path, exactly the dense cost.
+func (f *factor) btranSparse(v []float64, vind []int32, out []int32) ([]int32, bool) {
+	out = out[:0]
+	m := f.m
+	if f.forceDense || m < hyperMinDim {
+		f.btran(v)
+		return out, false
+	}
+	capN := m / hyperDenseDiv
+	// Eta transposes, newest first, tracking where support appears (the
+	// position-space pattern borrows out; it is consumed by the seeding
+	// below and reset before rows are collected).
+	f.newPStamp()
+	pmark, pstamp := f.pmark, f.pstamp
+	for _, p := range vind {
+		if pmark[p] != pstamp {
+			pmark[p] = pstamp
+			out = append(out, p)
+		}
+	}
+	for e := len(f.etaPos) - 1; e >= 0; e-- {
+		r := f.etaPos[e]
+		s := 0.0
+		for q := f.etaOff[e]; q < f.etaOff[e+1]; q++ {
+			s += f.etaVal[q] * v[f.etaIdx[q]]
+		}
+		vr := (v[r] - s) / f.etaPiv[e]
+		v[r] = vr
+		if vr != 0 && pmark[r] != pstamp {
+			pmark[r] = pstamp
+			out = append(out, r)
+		}
+	}
+	// Seed the Uᵀ reach from the post-eta support (numerically zero
+	// entries contribute nothing and stay out).
+	f.newStamp()
+	reach := f.reach[:0]
+	mark, stamp := f.mark, f.stamp
+	for _, p := range out {
+		if v[p] == 0 {
+			continue
+		}
+		k := f.posStep[p]
+		if mark[k] != stamp {
+			mark[k] = stamp
+			f.bitReach[k>>6] |= 1 << (uint32(k) & 63)
+			reach = append(reach, k)
+		}
+	}
+	f.reach = reach
+	if len(f.reach) > capN || !f.expandReach(f.urOff, f.urAdj, capN) {
+		clearBitList(f.bitReach, f.reach)
+		f.btranUTDense(v)
+		f.btranLTDense(v)
+		return out[:0], false
+	}
+	out = out[:0]
+	f.reach = sweepBits(f.bitReach, f.reach)
+	setBitList(f.bitReach, f.reach)
+	// Forward solve through Uᵀ over the reach, ascending step order,
+	// consuming the position-space entries as they are read.
+	z := f.swork
+	for _, k := range f.reach {
+		p := f.cperm[k]
+		zk := v[p]
+		v[p] = 0
+		for e := f.uOff[k]; e < f.uOff[k+1]; e++ {
+			zk -= f.uVal[e] * z[f.uStep[e]]
+		}
+		z[k] = zk / f.uDiag[k]
+	}
+	// Close over the Lᵀ pattern and solve descending.
+	if !f.expandReach(f.lrOff, f.lrAdj, capN) {
+		clearBitList(f.bitReach, f.reach)
+		f.btranLTDense(v)
+		return out, false
+	}
+	f.reach = sweepBits(f.bitReach, f.reach)
+	reach = f.reach
+	for i := len(reach) - 1; i >= 0; i-- {
+		k := reach[i]
+		yk := z[k]
+		for e := f.lOff[k]; e < f.lOff[k+1]; e++ {
+			yk -= f.lVal[e] * z[f.rowStep[f.lRow[e]]]
+		}
+		z[k] = yk
+	}
+	bs := f.bitOut
+	for _, k := range reach {
+		r := f.perm[k]
+		v[r] = z[k]
+		z[k] = 0
+		bs[r>>6] |= 1 << (uint32(r) & 63)
+		out = append(out, r)
+	}
+	return sweepBits(bs, out), true
 }

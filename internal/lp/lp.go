@@ -39,6 +39,29 @@
 // and index-order tie-breaking measurably sent the bound-flipping walk
 // into dual-progress-free flip storms at large horizons.
 //
+// # Hypersparse FTRAN/BTRAN kernels
+//
+// Above a small dimension threshold the triangular solves run hypersparse
+// (Gilbert–Peierls): a symbolic pass computes the reach of the right-hand
+// side's support through the triangular factor's dependency graph by DFS,
+// and the numeric pass then touches only the reached positions — per-solve
+// cost proportional to the nonzeros involved, not to m. The reach is
+// emitted through a bitset sweep (set bits during discovery, scan words
+// ascending) so the numeric pass consumes elimination steps in the same
+// sorted order the dense kernels use: both paths perform the identical
+// float operations in the identical order, which makes the path choice a
+// pure cost knob that can never perturb the pivot trajectory (the
+// equivalence suite in package activetime asserts identical pivot
+// sequences, and SetDenseKernels pins the dense path for that ablation).
+// When an expanding reach crosses a capped fraction of m the solve aborts
+// to the dense kernel — near-dense intermediates make symbolic bookkeeping
+// pure overhead — and a per-caller-class run counter then skips the doomed
+// symbolic expansion while a class stays in its dense regime, re-probing
+// periodically and resetting at each refactorization. The result support
+// lists the hypersparse solves hand back let consumers (eta appends, FG
+// weight updates, pivot-row scatter) iterate nonzeros directly instead of
+// scanning dense vectors.
+//
 // # Pricing
 //
 // Pricing is rule-selectable per Problem (SetPricing). The default,
@@ -61,7 +84,12 @@
 // runs those max-form updates exclusively (no extra FTRAN); PricingDantzig
 // keeps the pre-steepest-edge baseline for ablation. Under the non-Dantzig
 // rules the primal phase prices from a managed partial candidate list
-// (refilled by a cyclic rotor scan) instead of scanning every column, and
+// (refilled by a cyclic rotor scan) instead of scanning every column, the
+// dual phase prices leaving rows from a working set of infeasible cut rows
+// — maintained incrementally by the same sparse updates that change basic
+// values, rebuilt by one complete sweep (counted in KernelStats.RowRefills)
+// only when it runs dry, so steady-state pivots never scan all m rows —
+// and
 // the bound-flipping dual ratio test consumes its candidates through a
 // binary heap — the walk usually wants a handful of the thousands a wide
 // pivot row yields, so nothing pays a full sort per pivot.
@@ -236,6 +264,13 @@ type Problem struct {
 	// append-only.
 	removeEpoch int
 	pricing     PricingRule
+	// denseKernels forces every FTRAN/BTRAN through the dense triangular
+	// solves, disabling the hypersparse reach path (ablation hook; see
+	// SetDenseKernels). pivotHook, when set, observes every basis change
+	// (see SetPivotHook). Both are read when an engine state is created and
+	// ride with it for its life, like the pricing rule.
+	denseKernels bool
+	pivotHook    func(row, col int)
 }
 
 type entry struct {
@@ -283,6 +318,25 @@ func (p *Problem) SetPricing(r PricingRule) {
 
 // Pricing returns the pricing rule new engine states will use.
 func (p *Problem) Pricing() PricingRule { return p.pricing }
+
+// SetDenseKernels forces the float engine's triangular solves onto the
+// dense path, bypassing the hypersparse symbolic-reach kernels. The two
+// paths compute bit-for-bit identical results by construction (the
+// equivalence suites assert identical pivot sequences); the flag exists as
+// an ablation hook for tests and benchmarks. Like SetPricing, it is read
+// when an engine state is created and rides with that state for its life.
+func (p *Problem) SetDenseKernels(dense bool) {
+	p.denseKernels = dense
+}
+
+// SetPivotHook installs an observer invoked at every basis change with the
+// leaving row's basis position and the entering column. It is read when an
+// engine state is created; tests use it to record and compare pivot
+// sequences across kernel paths. The hook must not mutate the problem or
+// re-enter the solver. Pass nil to clear.
+func (p *Problem) SetPivotHook(hook func(row, col int)) {
+	p.pivotHook = hook
+}
 
 // Upper returns the upper bound of variable j (+Inf if never set).
 func (p *Problem) Upper(j int) float64 {
@@ -420,6 +474,99 @@ type Solution struct {
 	// Together with Iterations it is the solver-effort figure the scaling
 	// experiments report.
 	Refactors int
+	// Kernel reports the triangular-solve kernel activity of the call:
+	// hypersparse-vs-dense path counts, result-support sizes on the
+	// hypersparse paths, and dual working-set refills. Like Iterations it
+	// covers exactly the work of the call that produced this solution.
+	Kernel KernelStats
+}
+
+// KernelStats counts FTRAN/BTRAN kernel activity. The hypersparse counters
+// cover solves that completed on the symbolic-reach path; the dense
+// counters cover forced-dense solves, small bases, and solves whose reach
+// closure crossed the density fallback threshold mid-flight. RowRefills
+// counts dual working-set rebuild scans (pricing fell through the cut-row
+// working set to a cyclic sweep).
+type KernelStats struct {
+	FtranHyper    int // entering-column/FG/flip FTRANs solved hypersparse
+	FtranDense    int // FTRANs solved dense (forced, small, or fallback)
+	BtranHyper    int // pivot-row BTRANs solved hypersparse
+	BtranDense    int // BTRANs solved dense
+	FtranHyperNNZ int // total result nonzeros over hypersparse FTRANs
+	BtranHyperNNZ int // total result nonzeros over hypersparse BTRANs
+	RowRefills    int // dual working-set refill sweeps
+}
+
+func (k *KernelStats) noteFtran(hyper bool, nnz int) {
+	if hyper {
+		k.FtranHyper++
+		k.FtranHyperNNZ += nnz
+	} else {
+		k.FtranDense++
+	}
+}
+
+func (k *KernelStats) noteBtran(hyper bool, nnz int) {
+	if hyper {
+		k.BtranHyper++
+		k.BtranHyperNNZ += nnz
+	} else {
+		k.BtranDense++
+	}
+}
+
+// minus returns the fieldwise difference k - o; the engine uses it to carve
+// per-call figures out of lifetime counters.
+func (k KernelStats) minus(o KernelStats) KernelStats {
+	return KernelStats{
+		FtranHyper:    k.FtranHyper - o.FtranHyper,
+		FtranDense:    k.FtranDense - o.FtranDense,
+		BtranHyper:    k.BtranHyper - o.BtranHyper,
+		BtranDense:    k.BtranDense - o.BtranDense,
+		FtranHyperNNZ: k.FtranHyperNNZ - o.FtranHyperNNZ,
+		BtranHyperNNZ: k.BtranHyperNNZ - o.BtranHyperNNZ,
+		RowRefills:    k.RowRefills - o.RowRefills,
+	}
+}
+
+// Accumulate adds o into k fieldwise; callers driving many solves (the
+// Benders loop) use it to aggregate per-call stats into a run total.
+func (k *KernelStats) Accumulate(o KernelStats) {
+	k.FtranHyper += o.FtranHyper
+	k.FtranDense += o.FtranDense
+	k.BtranHyper += o.BtranHyper
+	k.BtranDense += o.BtranDense
+	k.FtranHyperNNZ += o.FtranHyperNNZ
+	k.BtranHyperNNZ += o.BtranHyperNNZ
+	k.RowRefills += o.RowRefills
+}
+
+// FtranAvgNNZ returns the mean result support of the hypersparse FTRANs
+// (0 when none ran).
+func (k KernelStats) FtranAvgNNZ() float64 {
+	if k.FtranHyper == 0 {
+		return 0
+	}
+	return float64(k.FtranHyperNNZ) / float64(k.FtranHyper)
+}
+
+// BtranAvgNNZ returns the mean result support of the hypersparse BTRANs
+// (0 when none ran).
+func (k KernelStats) BtranAvgNNZ() float64 {
+	if k.BtranHyper == 0 {
+		return 0
+	}
+	return float64(k.BtranHyperNNZ) / float64(k.BtranHyper)
+}
+
+// HyperShare returns the fraction of all triangular solves that completed
+// on the hypersparse path (0 when no solves ran).
+func (k KernelStats) HyperShare() float64 {
+	total := k.FtranHyper + k.FtranDense + k.BtranHyper + k.BtranDense
+	if total == 0 {
+		return 0
+	}
+	return float64(k.FtranHyper+k.BtranHyper) / float64(total)
 }
 
 const (
@@ -489,6 +636,7 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 		}
 		t.pivotsAtCall = t.pivots
 		t.refactorsAtCall = t.refactors
+		t.kstatsAtCall = t.kstats
 		copy(t.cost[:t.n], p.c) // pick up objective changes since the snapshot
 		t.appendProblemRows(p)
 		// A warm repair of freshly appended rows needs tens of pivots; give
@@ -524,6 +672,7 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 			// warm, crash and cold.
 			prevPivots := t.pivots - t.pivotsAtCall
 			prevRefactors := t.refactors - t.refactorsAtCall
+			prevKernel := t.kstats.minus(t.kstatsAtCall)
 			prev := t
 			t = nil
 			if tc := newCrashRevised(p, prev); tc != nil {
@@ -542,6 +691,7 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 				} else {
 					prevPivots += tc.pivots
 					prevRefactors += tc.refactors
+					prevKernel.Accumulate(tc.kstats)
 				}
 			}
 			if t == nil {
@@ -555,12 +705,14 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 			// discarded a dual-start attempt into pivotsAtCall already.
 			t.pivotsAtCall -= prevPivots
 			t.refactorsAtCall -= prevRefactors
+			t.kstatsAtCall = t.kstatsAtCall.minus(prevKernel)
 		}
 	}
 	sol := &Solution{
 		Status:     status,
 		Iterations: t.pivots - t.pivotsAtCall,
 		Refactors:  t.refactors - t.refactorsAtCall,
+		Kernel:     t.kstats.minus(t.kstatsAtCall),
 	}
 	if status != Optimal {
 		return sol, nil, nil

@@ -51,9 +51,10 @@ type revised struct {
 	// slack keeps a +1 coefficient).
 	rowCols [][]int32
 	rowVals [][]float64
-	rowLogs [][]int32 // logical columns belonging to each row (1 or 2)
-	rhs     []float64 // normalized right-hand sides
-	colRows [][]int32 // per structural column: rows with a nonzero entry
+	rowRun  [][]alphaRun // run-compressed mirror of rowCols/rowVals
+	rowLogs [][]int32    // logical columns belonging to each row (1 or 2)
+	rhs     []float64    // normalized right-hand sides
+	colRows [][]int32    // per structural column: rows with a nonzero entry
 	colVals [][]float64
 
 	logRow  []int32   // per logical column (index col-n): owning row
@@ -88,10 +89,39 @@ type revised struct {
 	rho     []float64  // pivot row of binv, length m
 	y       []float64  // dual scratch for refreshes, length m
 	flipAcc []float64  // row-space accumulator for batched bound flips, length m
+	flipSol []float64  // FTRAN scratch for applyFlips, length m, kept zeroed
 	tau     []float64  // steepest-edge update scratch (B⁻¹·rho), length m
 	alpha   []float64  // pivot row of the tableau, length ncols, kept zeroed
 	touched []int32    // columns with nonzero alpha this pivot
 	cands   []dualCand // dual ratio-test candidates, reused across pivots
+
+	// Sparse-support bookkeeping for the kernel scratch above: each Ind
+	// slice holds the sorted support of the matching vector's last solve
+	// when its Sparse flag is set (the vector is then zeroed through the
+	// support instead of a full sweep); a cleared flag means the last solve
+	// fell back to the dense path. invalidateKernel drops all of it when
+	// the row dimension changes.
+	wInd       []int32
+	wSparse    bool
+	rhoInd     []int32
+	rhoSparse  bool
+	tauInd     []int32
+	tauSparse  bool
+	flipInd    []int32 // support of flipAcc (engine rows; dups tolerated)
+	flipSolInd []int32
+	oneInd     [1]int32 // unit-vector support scratch for ftran/btranRho
+
+	// Dual working-set pricing (see pickDualRow): the candidate leaving
+	// rows and membership flags keyed by basis position. rowListOK means
+	// the invariant "every violated position is listed" holds — refills
+	// establish it, noteDualRow maintains it across basic-value updates,
+	// and anything that re-derives basic values wholesale clears it.
+	rowList   []int32
+	inRowList []bool
+	rowListOK bool
+
+	kstats       KernelStats // lifetime kernel counters
+	kstatsAtCall KernelStats // snapshot when the current ResolveFrom began
 
 	// Pricing state (see the pricing section of the package comment).
 	rule PricingRule
@@ -115,6 +145,8 @@ type revised struct {
 	refactors       int // lifetime successful refactorizations
 	refactorsAtCall int // refactorization count when the current call began
 	sinceRefresh    int
+
+	pivotHook func(row, col int) // observes basis changes; nil outside tests
 }
 
 // Refactorization policy: fold the eta file into a fresh LU when it holds
@@ -214,6 +246,7 @@ func newRevised(p *Problem) *revised {
 		epoch:      p.removeEpoch,
 		rowCols:    make([][]int32, 0, rowCap),
 		rowVals:    make([][]float64, 0, rowCap),
+		rowRun:     make([][]alphaRun, 0, rowCap),
 		rowLogs:    make([][]int32, 0, rowCap),
 		rhs:        make([]float64, 0, rowCap),
 		colRows:    make([][]int32, n),
@@ -236,11 +269,15 @@ func newRevised(p *Problem) *revised {
 		rho:        make([]float64, nRows, rowCap),
 		y:          make([]float64, nRows, rowCap),
 		flipAcc:    make([]float64, nRows, rowCap),
+		flipSol:    make([]float64, nRows, rowCap),
 		tau:        make([]float64, nRows, rowCap),
 		touched:    make([]int32, 0, colCap),
 		rule:       p.pricing,
 		dseW:       make([]float64, nRows, rowCap),
+		inRowList:  make([]bool, nRows, rowCap),
+		pivotHook:  p.pivotHook,
 	}
+	t.f.forceDense = p.denseKernels
 	// The initial all-logical basis is a signed permutation, so every row
 	// of its inverse has norm exactly 1: the weight set starts exact.
 	for i := range t.dseW {
@@ -280,6 +317,7 @@ func newRevised(p *Problem) *revised {
 		}
 		t.rowCols = append(t.rowCols, cols)
 		t.rowVals = append(t.rowVals, vals)
+		t.rowRun = append(t.rowRun, compressRuns(cols, vals))
 		t.rhs = append(t.rhs, sign*p.b[i])
 		var logs []int32
 		var bas int
@@ -540,7 +578,8 @@ func (t *revised) refreshRed() {
 	for i := 0; i < t.m; i++ {
 		y[i] = t.curCost[t.basis[i]]
 	}
-	t.f.btran(y)
+	t.f.btran(y) // dense by design: c_B is a dense right-hand side
+	t.kstats.noteBtran(false, 0)
 	for i := 0; i < t.m; i++ {
 		yi := y[i]
 		if yi == 0 {
@@ -558,34 +597,65 @@ func (t *revised) refreshRed() {
 	t.sinceRefresh = 0
 }
 
+// invalidateKernel forgets the sparse-support bookkeeping of the solve
+// scratch — after any change to the row dimension the stale supports may
+// index out of range — and schedules a dual working-set rebuild.
+func (t *revised) invalidateKernel() {
+	t.wSparse, t.rhoSparse, t.tauSparse = false, false, false
+	t.rowListOK = false
+}
+
 // ftran computes w = B⁻¹·A_col into t.w: the column's sparse entries are
 // scattered into the row-space right-hand side and solved through the
-// factorization.
+// hypersparse kernels, leaving the result's support in t.wInd (wSparse is
+// cleared when the solve fell back to the dense path; t.w is a valid dense
+// result either way).
 func (t *revised) ftran(col int) {
 	w := t.w[:t.m]
-	for i := range w {
-		w[i] = 0
+	if t.wSparse {
+		for _, i := range t.wInd {
+			w[i] = 0
+		}
+	} else {
+		for i := range w {
+			w[i] = 0
+		}
 	}
+	var ind []int32
 	if col < t.n {
 		rows, vals := t.colRows[col], t.colVals[col]
 		for k, r := range rows {
 			w[r] = vals[k]
 		}
+		ind = rows
 	} else {
-		w[t.logRow[col-t.n]] = t.logSign[col-t.n]
+		r := t.logRow[col-t.n]
+		w[r] = t.logSign[col-t.n]
+		t.oneInd[0] = r
+		ind = t.oneInd[:]
 	}
-	t.f.ftran(w)
+	t.wInd, t.wSparse = t.f.ftranSparse(w, ind, t.wInd[:0], ftranEnter)
+	t.kstats.noteFtran(t.wSparse, len(t.wInd))
 }
 
 // btranRho computes rho = e_rowᵀ·B⁻¹ (the pivot row of the inverse) into
-// t.rho by a BTRAN of the position-space unit vector.
+// t.rho by a BTRAN of the position-space unit vector, leaving the row's
+// support in t.rhoInd (rhoSparse cleared on dense fallback).
 func (t *revised) btranRho(row int) {
 	rho := t.rho[:t.m]
-	for i := range rho {
-		rho[i] = 0
+	if t.rhoSparse {
+		for _, i := range t.rhoInd {
+			rho[i] = 0
+		}
+	} else {
+		for i := range rho {
+			rho[i] = 0
+		}
 	}
 	rho[row] = 1
-	t.f.btran(rho)
+	t.oneInd[0] = int32(row)
+	t.rhoInd, t.rhoSparse = t.f.btranSparse(rho, t.oneInd[:], t.rhoInd[:0])
+	t.kstats.noteBtran(t.rhoSparse, len(t.rhoInd))
 }
 
 // ensureWeights initializes pricing weights for basis positions appended
@@ -611,8 +681,15 @@ func (t *revised) ensureWeights() {
 		t.btranRho(p)
 		rho := t.rho[:t.m]
 		s := 0.0
-		for _, v := range rho {
-			s += v * v
+		if t.rhoSparse {
+			for _, i := range t.rhoInd {
+				v := rho[i]
+				s += v * v
+			}
+		} else {
+			for _, v := range rho {
+				s += v * v
+			}
 		}
 		if s < dseWeightFloor {
 			s = dseWeightFloor
@@ -649,8 +726,15 @@ func (t *revised) updateWeights(row int) {
 	}
 	rho := t.rho[:t.m]
 	br := 0.0
-	for _, v := range rho {
-		br += v * v
+	if t.rhoSparse {
+		for _, i := range t.rhoInd {
+			v := rho[i]
+			br += v * v
+		}
+	} else {
+		for _, v := range rho {
+			br += v * v
+		}
 	}
 	inv := 1 / wr
 	if t.rule == PricingSteepestEdge && !t.dseStale {
@@ -662,20 +746,56 @@ func (t *revised) updateWeights(row int) {
 		}
 	}
 	if t.rule == PricingSteepestEdge && !t.dseStale {
+		// FG correction term τ = B⁻¹·rho, solved through the hypersparse
+		// kernels with rho's support as the right-hand-side pattern.
 		tau := t.tau[:t.m]
-		copy(tau, rho)
-		t.f.ftran(tau)
-		for i := 0; i < t.m; i++ {
-			wi := w[i]
-			if wi == 0 || i == row {
-				continue
+		if t.tauSparse {
+			for _, i := range t.tauInd {
+				tau[i] = 0
 			}
-			s := wi * inv
-			nb := t.dseW[i] - 2*s*tau[i] + s*s*br
-			if nb < dseWeightFloor {
-				nb = dseWeightFloor
+		} else {
+			for i := range tau {
+				tau[i] = 0
 			}
-			t.dseW[i] = nb
+		}
+		if t.rhoSparse {
+			for _, i := range t.rhoInd {
+				tau[i] = rho[i]
+			}
+			t.tauInd, t.tauSparse = t.f.ftranSparse(tau, t.rhoInd, t.tauInd[:0], ftranTau)
+		} else {
+			copy(tau, rho)
+			t.f.ftran(tau)
+			t.tauInd, t.tauSparse = t.tauInd[:0], false
+		}
+		t.kstats.noteFtran(t.tauSparse, len(t.tauInd))
+		if t.wSparse {
+			for _, i32 := range t.wInd {
+				i := int(i32)
+				wi := w[i]
+				if wi == 0 || i == row {
+					continue
+				}
+				s := wi * inv
+				nb := t.dseW[i] - 2*s*tau[i] + s*s*br
+				if nb < dseWeightFloor {
+					nb = dseWeightFloor
+				}
+				t.dseW[i] = nb
+			}
+		} else {
+			for i := 0; i < t.m; i++ {
+				wi := w[i]
+				if wi == 0 || i == row {
+					continue
+				}
+				s := wi * inv
+				nb := t.dseW[i] - 2*s*tau[i] + s*s*br
+				if nb < dseWeightFloor {
+					nb = dseWeightFloor
+				}
+				t.dseW[i] = nb
+			}
 		}
 		nb := br * inv * inv
 		if nb < dseWeightFloor {
@@ -686,15 +806,31 @@ func (t *revised) updateWeights(row int) {
 	}
 	// Devex max-form updates, anchored at the exact pivot-row norm.
 	reset := false
-	for i := 0; i < t.m; i++ {
-		wi := w[i]
-		if wi == 0 || i == row {
-			continue
+	if t.wSparse {
+		for _, i32 := range t.wInd {
+			i := int(i32)
+			wi := w[i]
+			if wi == 0 || i == row {
+				continue
+			}
+			if cand := wi * wi * inv * inv * br; cand > t.dseW[i] {
+				t.dseW[i] = cand
+				if cand > devexResetAbove {
+					reset = true
+				}
+			}
 		}
-		if cand := wi * wi * inv * inv * br; cand > t.dseW[i] {
-			t.dseW[i] = cand
-			if cand > devexResetAbove {
-				reset = true
+	} else {
+		for i := 0; i < t.m; i++ {
+			wi := w[i]
+			if wi == 0 || i == row {
+				continue
+			}
+			if cand := wi * wi * inv * inv * br; cand > t.dseW[i] {
+				t.dseW[i] = cand
+				if cand > devexResetAbove {
+					reset = true
+				}
 			}
 		}
 	}
@@ -711,30 +847,155 @@ func (t *revised) updateWeights(row int) {
 }
 
 // pivotRowAlpha accumulates alpha_j = rho·A_j for every column with a
-// nonzero result into t.alpha, recording them in t.touched. The sweep walks
-// only rows with a nonzero rho entry, so its cost is the sparse support of
-// the pivot row, never n. Callers must drain t.alpha back to zero (the
-// reduced-cost update in applyPivot does, as does clearAlpha).
-func (t *revised) pivotRowAlpha(rho []float64) {
+// nonzero result into t.alpha, recording them in t.touched; t.rho must hold
+// the pivot row (btranRho leaves its support in t.rhoInd, which this sweep
+// walks instead of scanning all m positions when available). The cost is
+// the sparse support of the pivot row, never n or m. Callers must drain
+// t.alpha back to zero (the reduced-cost update in applyPivot does, as does
+// clearAlpha).
+func (t *revised) pivotRowAlpha() {
 	t.touched = t.touched[:0]
-	alpha := t.alpha
+	rho := t.rho[:t.m]
+	// Estimate the scatter volume (Σ stored entries over rho's support)
+	// first: wide covering cuts make pivot rows column-dense at scale, and
+	// once the volume passes the column count it is cheaper to scatter with
+	// no per-entry support tracking and recover touched in one sequential
+	// sweep. The two modes are interchangeable: per-column accumulation
+	// order is identical, and the only touched-list differences — columns
+	// whose alpha cancelled to exact zero, or duplicate listings — are
+	// no-ops for every consumer (zero alphas fail the pivot-tolerance
+	// checks and contribute nothing to the reduced-cost update, and the
+	// ratio-test heap pops a strict total order regardless of insertion
+	// order), so the pivot sequence does not depend on the mode switch.
+	nc := len(t.alpha)
+	vol := 0
+	if t.rhoSparse {
+		for _, i32 := range t.rhoInd {
+			i := int(i32)
+			if rho[i] != 0 {
+				vol += len(t.rowCols[i]) + len(t.rowLogs[i])
+			}
+		}
+		if vol >= nc {
+			for _, i32 := range t.rhoInd {
+				i := int(i32)
+				if ri := rho[i]; ri != 0 {
+					t.scatterRowAlphaRaw(i, ri)
+				}
+			}
+			t.collectTouched()
+			return
+		}
+		for _, i32 := range t.rhoInd {
+			i := int(i32)
+			if ri := rho[i]; ri != 0 {
+				t.scatterRowAlpha(i, ri)
+			}
+		}
+		return
+	}
 	for i := 0; i < t.m; i++ {
-		ri := rho[i]
-		if ri == 0 {
-			continue
+		if rho[i] != 0 {
+			vol += len(t.rowCols[i]) + len(t.rowLogs[i])
 		}
-		cols, vals := t.rowCols[i], t.rowVals[i]
-		for k, c := range cols {
-			if alpha[c] == 0 {
-				t.touched = append(t.touched, c)
+	}
+	if vol >= nc {
+		for i := 0; i < t.m; i++ {
+			if ri := rho[i]; ri != 0 {
+				t.scatterRowAlphaRaw(i, ri)
 			}
-			alpha[c] += ri * vals[k]
 		}
-		for _, lc := range t.rowLogs[i] {
-			if alpha[lc] == 0 {
-				t.touched = append(t.touched, lc)
+		t.collectTouched()
+		return
+	}
+	for i := 0; i < t.m; i++ {
+		if ri := rho[i]; ri != 0 {
+			t.scatterRowAlpha(i, ri)
+		}
+	}
+}
+
+// alphaRun is one maximal run of consecutive columns sharing a coefficient
+// within a row. Covering cuts are unions of job windows with small integer
+// coverage levels, so a row's coefficient profile changes only at window
+// boundaries: a cut spanning hundreds of slots compresses to a handful of
+// runs, and the pivot-row scatter walks runs — one multiply plus a
+// sequential block add — instead of streaming per-entry column indices and
+// values from memory. Rows without consecutive structure degrade to
+// length-1 runs, which costs the same entry walk as the uncompressed form.
+type alphaRun struct {
+	lo, ln int32
+	val    float64
+}
+
+// compressRuns builds the run form of a normalized (strictly ascending,
+// zero-free) row. Walking runs left to right reproduces the entry walk in
+// the exact same column order, so the two forms are arithmetically
+// interchangeable anywhere a row is accumulated.
+func compressRuns(cols []int32, vals []float64) []alphaRun {
+	runs := make([]alphaRun, 0, 8)
+	for k := 0; k < len(cols); {
+		j := k + 1
+		for j < len(cols) && cols[j] == cols[j-1]+1 && vals[j] == vals[k] {
+			j++
+		}
+		runs = append(runs, alphaRun{lo: cols[k], ln: int32(j - k), val: vals[k]})
+		k = j
+	}
+	return runs
+}
+
+// scatterRowAlpha adds ri times row i's entries into the alpha accumulator.
+func (t *revised) scatterRowAlpha(i int, ri float64) {
+	alpha := t.alpha
+	for _, rn := range t.rowRun[i] {
+		x := ri * rn.val
+		seg := alpha[rn.lo : rn.lo+rn.ln]
+		base := rn.lo
+		for k := range seg {
+			if seg[k] == 0 {
+				t.touched = append(t.touched, base+int32(k))
 			}
-			alpha[lc] += ri * t.logSign[lc-int32(t.n)]
+			seg[k] += x
+		}
+	}
+	for _, lc := range t.rowLogs[i] {
+		if alpha[lc] == 0 {
+			t.touched = append(t.touched, lc)
+		}
+		alpha[lc] += ri * t.logSign[lc-int32(t.n)]
+	}
+}
+
+// scatterRowAlphaRaw is scatterRowAlpha without support tracking — a block
+// add per run — for the column-dense mode; callers recover the support
+// with collectTouched after the last row. (A run-boundary difference
+// accumulator folded by one prefix sum would be asymptotically cheaper
+// still, but reassociating the per-column additions perturbs alpha in
+// final ulps, and the flip walk's magnitude tie-breaks are sensitive
+// enough that the jitter measurably doubles pivot counts at T = 16384 —
+// the entry-order block add is the fastest form that keeps the pivot
+// sequence exactly.)
+func (t *revised) scatterRowAlphaRaw(i int, ri float64) {
+	alpha := t.alpha
+	for _, rn := range t.rowRun[i] {
+		x := ri * rn.val
+		seg := alpha[rn.lo : rn.lo+rn.ln]
+		for k := range seg {
+			seg[k] += x
+		}
+	}
+	ls, n := t.logSign, int32(t.n)
+	for _, lc := range t.rowLogs[i] {
+		alpha[lc] += ri * ls[lc-n]
+	}
+}
+
+// collectTouched rebuilds t.touched as the ascending support of t.alpha.
+func (t *revised) collectTouched() {
+	for c, a := range t.alpha {
+		if a != 0 {
+			t.touched = append(t.touched, int32(c))
 		}
 	}
 }
@@ -759,14 +1020,31 @@ func (t *revised) clearAlpha() {
 // dual path computes it for the ratio test); otherwise applyPivot computes
 // it with a BTRAN. Either way the accumulator is drained before returning.
 func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alphaReady bool) {
+	if t.pivotHook != nil {
+		t.pivotHook(row, col)
+	}
 	w := t.w[:t.m]
 	if delta != 0 {
-		for i := range w {
-			if i == row {
-				continue
+		if t.wSparse {
+			for _, i32 := range t.wInd {
+				i := int(i32)
+				if i == row {
+					continue
+				}
+				if wi := w[i]; wi != 0 {
+					t.xB[i] -= dir * wi * delta
+					t.noteDualRow(i)
+				}
 			}
-			if wi := w[i]; wi != 0 {
-				t.xB[i] -= dir * wi * delta
+		} else {
+			for i := range w {
+				if i == row {
+					continue
+				}
+				if wi := w[i]; wi != 0 {
+					t.xB[i] -= dir * wi * delta
+					t.noteDualRow(i)
+				}
 			}
 		}
 	}
@@ -777,7 +1055,7 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 
 	if !alphaReady {
 		t.btranRho(row)
-		t.pivotRowAlpha(t.rho[:t.m])
+		t.pivotRowAlpha()
 	}
 	if f := t.red[col]; f != 0 {
 		scale := f / w[row]
@@ -802,7 +1080,11 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 
 	// Record the basis change in the eta file instead of a dense rank-one
 	// inverse update: O(nnz(w)) written, nothing of size m².
-	t.f.pushEta(row, w)
+	if t.wSparse {
+		t.f.pushEtaSparse(row, w, t.wInd)
+	} else {
+		t.f.pushEta(row, w)
+	}
 
 	leave := t.basis[row]
 	t.inBasis[leave] = false
@@ -816,6 +1098,7 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 		enterVal = 0
 	}
 	t.xB[row] = enterVal
+	t.noteDualRow(row)
 	t.pivots++
 	t.sinceRefresh++
 	// Fold the eta file into a fresh LU before it dominates solve cost or
@@ -839,28 +1122,59 @@ func (t *revised) accumulateFlip(col int, dir, u float64) {
 	if col < t.n {
 		rows, vals := t.colRows[col], t.colVals[col]
 		for k, r := range rows {
+			if t.flipAcc[r] == 0 {
+				t.flipInd = append(t.flipInd, r)
+			}
 			t.flipAcc[r] += d * vals[k]
 		}
 		return
 	}
-	t.flipAcc[t.logRow[col-t.n]] += d * t.logSign[col-t.n]
+	r := t.logRow[col-t.n]
+	if t.flipAcc[r] == 0 {
+		t.flipInd = append(t.flipInd, r)
+	}
+	t.flipAcc[r] += d * t.logSign[col-t.n]
 }
 
 // applyFlips applies xB -= B⁻¹·flipAcc with one FTRAN and clears the
-// accumulator.
+// accumulator. The accumulated support rides along as the solve's
+// right-hand-side pattern (flipSol keeps the all-zero invariant the sparse
+// scatter needs; duplicate support entries from mid-walk cancellations are
+// harmless everywhere they flow).
 func (t *revised) applyFlips() {
 	acc := t.flipAcc[:t.m]
-	s := t.y[:t.m] // free outside refreshes
-	copy(s, acc)
-	t.f.ftran(s)
-	for i := 0; i < t.m; i++ {
-		if s[i] != 0 {
-			t.xB[i] -= s[i]
+	s := t.flipSol[:t.m]
+	for _, r := range t.flipInd {
+		// flipInd can list r twice when the accumulator passed through exact
+		// zero mid-walk; the guard keeps a second visit from wiping the value
+		// the first one already moved into s.
+		if acc[r] != 0 {
+			s[r] = acc[r]
+			acc[r] = 0
 		}
 	}
-	for k := range acc {
-		acc[k] = 0
+	var sparse bool
+	t.flipSolInd, sparse = t.f.ftranSparse(s, t.flipInd, t.flipSolInd[:0], ftranFlip)
+	t.kstats.noteFtran(sparse, len(t.flipSolInd))
+	if sparse {
+		for _, i32 := range t.flipSolInd {
+			i := int(i32)
+			if si := s[i]; si != 0 {
+				t.xB[i] -= si
+				t.noteDualRow(i)
+			}
+			s[i] = 0
+		}
+	} else {
+		for i := 0; i < t.m; i++ {
+			if si := s[i]; si != 0 {
+				t.xB[i] -= si
+				t.noteDualRow(i)
+			}
+			s[i] = 0
+		}
 	}
+	t.flipInd = t.flipInd[:0]
 }
 
 // boundFlip moves nonbasic column col across its (finite) range to the
@@ -868,9 +1182,17 @@ func (t *revised) applyFlips() {
 func (t *revised) boundFlip(col int, dir float64) {
 	if u := t.upper[col]; u > 0 {
 		w := t.w[:t.m]
-		for i := range w {
-			if wi := w[i]; wi != 0 {
-				t.xB[i] -= dir * wi * u
+		if t.wSparse {
+			for _, i32 := range t.wInd {
+				if wi := w[i32]; wi != 0 {
+					t.xB[i32] -= dir * wi * u
+				}
+			}
+		} else {
+			for i := range w {
+				if wi := w[i]; wi != 0 {
+					t.xB[i] -= dir * wi * u
+				}
 			}
 		}
 	}
@@ -1051,6 +1373,99 @@ func (t *revised) primalIterate(phase1 bool, budget *int) Status {
 	}
 }
 
+// dualViolation reports position i's bound violation magnitude (zero when
+// within bounds) and whether the violation is above the upper bound.
+func (t *revised) dualViolation(i int) (float64, bool) {
+	v := t.xB[i]
+	if v < -1e-7 {
+		return -v, false
+	}
+	if ub := t.upper[t.basis[i]]; !math.IsInf(ub, 1) && v-ub > 1e-7 {
+		return v - ub, true
+	}
+	return 0, false
+}
+
+// noteDualRow adds basis position i to the dual working set when its basic
+// value violates a bound and it is not already listed. Every code path that
+// changes an xB entry during dual iteration calls it, which preserves the
+// working-set invariant behind rowListOK. Both kernel paths visit changed
+// positions in ascending order and gate on the same numeric nonzero tests,
+// so the list contents — and therefore the pivot sequence — are identical
+// whichever path produced the update.
+func (t *revised) noteDualRow(i int) {
+	if !t.rowListOK || t.inRowList[i] {
+		return
+	}
+	if viol, _ := t.dualViolation(i); viol == 0 {
+		return
+	}
+	t.inRowList[i] = true
+	t.rowList = append(t.rowList, int32(i))
+}
+
+// refillDualRows rebuilds the working set with one full ascending sweep,
+// listing every violated position. An empty refill is the "no violated row"
+// conclusion, identical to the full sweep it replaces.
+func (t *revised) refillDualRows() int {
+	for _, i32 := range t.rowList {
+		t.inRowList[i32] = false
+	}
+	t.rowList = t.rowList[:0]
+	for i := 0; i < t.m; i++ {
+		if viol, _ := t.dualViolation(i); viol != 0 {
+			t.inRowList[i] = true
+			t.rowList = append(t.rowList, int32(i))
+		}
+	}
+	t.rowListOK = true
+	t.kstats.RowRefills++
+	return len(t.rowList)
+}
+
+// pickDualRow is the working-set leaving-row choice for the steepest-edge
+// and devex regimes: it drains the listed candidates — re-checking each
+// against the live basic values, dropping the repaired — and returns the
+// one maximizing violation²/weight (the dual steepest-edge score, ties to
+// the lowest position). Because refills list every violated position and
+// noteDualRow keeps the list complete across basic-value updates, the
+// choice — and hence the whole pivot sequence — is exactly the full
+// sweep's, while steady-state selection cost is O(|violated positions|),
+// not O(m): on the covering masters a pivot repairs most of what it
+// touches, so the drained list collapses to a handful of live cut rows
+// between refills.
+func (t *revised) pickDualRow() (int, bool) {
+	for {
+		if !t.rowListOK {
+			if t.refillDualRows() == 0 {
+				return -1, false
+			}
+		}
+		best, row, above := 0.0, -1, false
+		out := 0
+		for _, i32 := range t.rowList {
+			i := int(i32)
+			viol, ab := t.dualViolation(i)
+			if viol == 0 {
+				t.inRowList[i] = false
+				continue
+			}
+			t.rowList[out] = i32
+			out++
+			if score := viol * viol / t.dseW[i]; score > best || (score == best && row >= 0 && i < row) {
+				best, row, above = score, i, ab
+			}
+		}
+		t.rowList = t.rowList[:out]
+		if row >= 0 {
+			return row, above
+		}
+		// Every member was repaired since it was listed; refill from the
+		// rotor (a refill that finds nothing ends the loop above).
+		t.rowListOK = false
+	}
+}
+
 // dualIterate restores primal feasibility (basic values pushed outside
 // their bounds by newly appended rows) while maintaining dual feasibility,
 // using the bounded-variable dual simplex. It assumes the state was optimal
@@ -1088,22 +1503,7 @@ func (t *revised) dualIterate(budget *int) Status {
 		row := -1
 		above := false
 		if t.rule != PricingDantzig && iter < blandFrom {
-			best := 0.0
-			for i := 0; i < t.m; i++ {
-				v := t.xB[i]
-				var viol float64
-				ab := false
-				if v < -1e-7 {
-					viol = -v
-				} else if ub := t.upper[t.basis[i]]; !math.IsInf(ub, 1) && v-ub > 1e-7 {
-					viol, ab = v-ub, true
-				} else {
-					continue
-				}
-				if score := viol * viol / t.dseW[i]; score > best {
-					best, row, above = score, i, ab
-				}
-			}
+			row, above = t.pickDualRow()
 		} else {
 			worst := 1e-7
 			for i := 0; i < t.m; i++ {
@@ -1130,7 +1530,7 @@ func (t *revised) dualIterate(budget *int) Status {
 			sign = -1.0
 		}
 		t.btranRho(row)
-		t.pivotRowAlpha(t.rho[:t.m])
+		t.pivotRowAlpha()
 		// Entering: bounded dual ratio test with bound flips. Candidates
 		// are visited in increasing dual-ratio order (ties by column index,
 		// for determinism and Bland-style safety); a candidate whose own
@@ -1296,9 +1696,11 @@ func coldSolve(p *Problem, budget *int) (*revised, Status) {
 			return t, st
 		}
 		spentPivots, spentRefactors := t.pivots, t.refactors
+		spentKernel := t.kstats
 		t = newRevised(p)
 		t.pivotsAtCall = -spentPivots
 		t.refactorsAtCall = -spentRefactors
+		t.kstatsAtCall = KernelStats{}.minus(spentKernel)
 	}
 	return t, t.runTwoPhase(budget)
 }
@@ -1390,7 +1792,7 @@ func (t *revised) driveOutArtificials() {
 			continue
 		}
 		t.btranRho(i)
-		t.pivotRowAlpha(t.rho[:t.m])
+		t.pivotRowAlpha()
 		slices.Sort(t.touched)
 		col := -1
 		for _, j32 := range t.touched {
@@ -1511,7 +1913,8 @@ func (t *revised) refreshXB() {
 			r[t.logRow[j-t.n]] -= t.logSign[j-t.n] * u
 		}
 	}
-	t.f.ftran(r)
+	t.f.ftran(r) // dense by design: the bound-adjusted rhs is dense
+	t.kstats.noteFtran(false, 0)
 	for i := 0; i < m; i++ {
 		s := r[i]
 		if s < 0 && s > -1e-9 {
@@ -1519,6 +1922,9 @@ func (t *revised) refreshXB() {
 		}
 		t.xB[i] = s
 	}
+	// Basic values were re-derived wholesale; the dual working set must be
+	// rebuilt before its invariant can be trusted again.
+	t.rowListOK = false
 }
 
 // growCols appends k fresh logical column slots (zero cost, +Inf bound,
@@ -1586,7 +1992,16 @@ func (t *revised) growRows() {
 	t.rho = growF(t.rho)
 	t.y = growF(t.y)
 	t.flipAcc = growF(t.flipAcc)
+	t.flipSol = growF(t.flipSol)
 	t.tau = growF(t.tau)
+	if cap(t.inRowList) < nm {
+		s2 := make([]bool, len(t.inRowList), nm+nm/4+16)
+		copy(s2, t.inRowList)
+		t.inRowList = s2
+	}
+	t.inRowList = t.inRowList[:nm]
+	t.inRowList[nm-1] = false
+	t.invalidateKernel()
 }
 
 // appendProblemRows incorporates rows added to the problem since the state
@@ -1624,6 +2039,7 @@ func (t *revised) appendRow(row []entry, rel Relation, b float64, xs []float64) 
 	}
 	t.rowCols = append(t.rowCols, cols)
 	t.rowVals = append(t.rowVals, vals)
+	t.rowRun = append(t.rowRun, compressRuns(cols, vals))
 	t.rowLogs = append(t.rowLogs, []int32{int32(s)})
 	t.rhs = append(t.rhs, sign*b)
 	for k, c := range cols {
@@ -1741,12 +2157,14 @@ func (t *revised) removeRows(drop []int) error {
 		}
 		t.rowCols[nr] = t.rowCols[r]
 		t.rowVals[nr] = t.rowVals[r]
+		t.rowRun[nr] = t.rowRun[r]
 		t.rowLogs[nr] = logs
 		t.rhs[nr] = t.rhs[r]
 		nr++
 	}
 	t.rowCols = t.rowCols[:nr]
 	t.rowVals = t.rowVals[:nr]
+	t.rowRun = t.rowRun[:nr]
 	t.rowLogs = t.rowLogs[:nr]
 	t.rhs = t.rhs[:nr]
 
@@ -1813,9 +2231,16 @@ func (t *revised) removeRows(drop []int) error {
 	t.xB = t.xB[:np]
 	t.dseW = t.dseW[:np]
 	// Logical column indices shifted; the candidate list may hold stale
-	// ones, so partial pricing restarts from an empty list.
+	// ones, so partial pricing restarts from an empty list. Basis positions
+	// shifted too, so the dual working set and the kernel scratch supports
+	// restart likewise.
 	t.candList = t.candList[:0]
 	t.candRotor = 0
+	t.rowList = t.rowList[:0]
+	for i := range t.inRowList {
+		t.inRowList[i] = false
+	}
+	t.invalidateKernel()
 	t.m = np
 	t.whereBasic = t.whereBasic[:nc]
 	for j := range t.whereBasic {
