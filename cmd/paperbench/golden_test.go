@@ -24,6 +24,9 @@ type benchSchema struct {
 	// key set — but not its values, which are deterministic per box/arch
 	// yet not across them.
 	Kernel []string `json:"kernel,omitempty"`
+	// Approx likewise pins which experiments expose an approximation digest
+	// and its exact key set.
+	Approx []string `json:"approx,omitempty"`
 }
 
 // TestBenchJSONSchemaGolden locks the machine-readable benchmark schema:
@@ -53,7 +56,10 @@ func TestBenchJSONSchemaGolden(t *testing.T) {
 	for i, rec := range raw {
 		extra := 0
 		if _, ok := rec["kernel"]; ok {
-			extra = 1
+			extra++
+		}
+		if _, ok := rec["approx"]; ok {
+			extra++
 		}
 		if len(rec) != len(wantKeys)+extra {
 			t.Fatalf("record %d has %d keys, want %d (%v)", i, len(rec), len(wantKeys)+extra, rec)
@@ -74,16 +80,20 @@ func TestBenchJSONSchemaGolden(t *testing.T) {
 	records := make([]benchSchema, len(full))
 	for i, rec := range full {
 		records[i] = benchSchema{ID: rec.ID, Name: rec.Name, Columns: rec.Columns}
-		kern, ok := raw[i]["kernel"].(map[string]any)
-		if !ok {
-			continue
+		sortedKeys := func(m map[string]any) []string {
+			keys := make([]string, 0, len(m))
+			for k := range m {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			return keys
 		}
-		keys := make([]string, 0, len(kern))
-		for k := range kern {
-			keys = append(keys, k)
+		if kern, ok := raw[i]["kernel"].(map[string]any); ok {
+			records[i].Kernel = sortedKeys(kern)
 		}
-		sort.Strings(keys)
-		records[i].Kernel = keys
+		if appr, ok := raw[i]["approx"].(map[string]any); ok {
+			records[i].Approx = sortedKeys(appr)
+		}
 	}
 	got, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {

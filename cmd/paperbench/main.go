@@ -4,23 +4,26 @@
 //
 // Usage:
 //
-//	paperbench [-quick] [-only E5] [-seed 7] [-bench-json out.json] [-merge-bench traj.json -label pr6]
+//	paperbench [-quick] [-only E5 | -only E18,E19] [-seed 7] [-bench-json out.json] [-merge-bench traj.json -label pr7]
 //
 // With -bench-json, per-experiment wall times are also written to the given
 // path as a JSON array (one object per experiment: id, name, millis, rows,
 // columns — the table's column headers, so downstream bench tooling can pin
-// the effort columns it parses — and, for experiments that report one, a
-// kernel digest of deterministic simplex-kernel counters), feeding the
+// the effort columns it parses — and, for experiments that report them, a
+// kernel digest of deterministic simplex-kernel counters and an
+// approximation digest of realized theorem-bound ratios), feeding the
 // machine-readable benchmark trajectory. The golden test in this package
 // locks the schema.
 //
 // With -merge-bench, the run's records are appended to a committed
-// benchmark-trajectory file as a new labelled entry, after a monotone
-// non-regression gate against the latest existing entry: the experiment
-// set must not shrink, no experiment may lose table columns, and the
-// kernel digest's hypersparse share must not collapse. Wall times are
-// recorded but deliberately not gated — they are machine-dependent; the
-// gated metrics are the deterministic ones.
+// benchmark-trajectory file as a new labelled entry, after gating: every
+// record's approximation digest must satisfy the absolute theorem bounds
+// (rounded/LP <= 2, minimal/OPT <= 3, zero repairs, at most one cold flow
+// per solve), and against the latest existing entry the experiment set must
+// not shrink, no experiment may lose table columns, the kernel digest's
+// hypersparse share must not collapse, and the approximation counters must
+// not regress. Wall times are recorded but deliberately not gated — they
+// are machine-dependent; the gated metrics are the deterministic ones.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
@@ -53,6 +57,7 @@ type benchRecord struct {
 	Rows    int                        `json:"rows"`
 	Columns []string                   `json:"columns"`
 	Kernel  *experiments.KernelSummary `json:"kernel,omitempty"`
+	Approx  *experiments.ApproxSummary `json:"approx,omitempty"`
 }
 
 // trajectoryEntry is one labelled run in the committed benchmark
@@ -77,6 +82,11 @@ func mergeTrajectory(path, label string, records []benchRecord) error {
 		}
 	} else if !os.IsNotExist(err) {
 		return err
+	}
+	for _, r := range records {
+		if err := checkApprox(r); err != nil {
+			return fmt.Errorf("bench trajectory gate: %w", err)
+		}
 	}
 	if n := len(traj.Entries); n > 0 {
 		if err := checkNonRegression(traj.Entries[n-1], records); err != nil {
@@ -132,6 +142,49 @@ func checkNonRegression(prev trajectoryEntry, records []benchRecord) error {
 					r.ID, p.Kernel.HyperShare, r.Kernel.HyperShare)
 			}
 		}
+		if p.Approx != nil && r.Approx == nil {
+			return fmt.Errorf("%s dropped its approximation digest", r.ID)
+		}
+		if p.Approx != nil && r.Approx != nil {
+			// The incremental-flow counters are absolute contracts, but also
+			// gate them against the previous entry so a creeping regression
+			// (more repairs, more cold flows) cannot ratchet in.
+			if r.Approx.Repairs > p.Approx.Repairs {
+				return fmt.Errorf("%s repairs regressed: %d -> %d", r.ID, p.Approx.Repairs, r.Approx.Repairs)
+			}
+			if r.Approx.ColdFlows > p.Approx.ColdFlows {
+				return fmt.Errorf("%s cold flows regressed: %d -> %d", r.ID, p.Approx.ColdFlows, r.Approx.ColdFlows)
+			}
+		}
+	}
+	return nil
+}
+
+// checkApprox enforces the absolute theorem-bound gates on a record's
+// approximation digest (no previous entry needed: the bounds come from the
+// paper, not from history): realized rounded/LP at most 2 + eps (Theorem 2),
+// minimal-feasible/OPT at most 3 (Theorem 1), no defensive repairs, at most
+// one cold flow per solve, and no unaccounted proxy mass.
+func checkApprox(r benchRecord) error {
+	a := r.Approx
+	if a == nil {
+		return nil
+	}
+	const eps = 1e-6
+	if a.MaxRoundedOverLP > 2+eps {
+		return fmt.Errorf("%s rounded/LP ratio %.6f exceeds the Theorem 2 bound 2", r.ID, a.MaxRoundedOverLP)
+	}
+	if a.MaxMinimalOverOPT > 3+eps {
+		return fmt.Errorf("%s minimal/OPT ratio %.6f exceeds the Theorem 1 bound 3", r.ID, a.MaxMinimalOverOPT)
+	}
+	if a.Repairs != 0 {
+		return fmt.Errorf("%s ran %d defensive repairs (expected 0)", r.ID, a.Repairs)
+	}
+	if a.ColdFlows > 1 {
+		return fmt.Errorf("%s ran %d cold flows per solve (incremental contract allows 1)", r.ID, a.ColdFlows)
+	}
+	if a.DroppedMass > 0.5 {
+		return fmt.Errorf("%s dropped %.6f proxy mass (breaks the charging audit)", r.ID, a.DroppedMass)
 	}
 	return nil
 }
@@ -139,7 +192,7 @@ func checkNonRegression(prev trajectoryEntry, records []benchRecord) error {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("paperbench", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "run reduced sweeps")
-	only := fs.String("only", "", "run a single experiment by ID (e.g. E5)")
+	only := fs.String("only", "", "run only the listed experiment IDs (comma-separated, e.g. E5 or E18,E19)")
 	seed := fs.Int64("seed", 7, "random seed for workload generation")
 	benchJSON := fs.String("bench-json", "", "write per-experiment wall times as JSON to this path")
 	mergeBench := fs.String("merge-bench", "", "append this run to the benchmark-trajectory JSON at the given path (gated, see package doc)")
@@ -154,11 +207,21 @@ func run(args []string, stdout io.Writer) error {
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}
 	runners := experiments.All()
 	if *only != "" {
-		r, ok := experiments.ByID(*only)
-		if !ok {
-			return fmt.Errorf("unknown experiment %q", *only)
+		runners = nil
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			r, ok := experiments.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			runners = append(runners, r)
 		}
-		runners = []experiments.Runner{r}
+		if len(runners) == 0 {
+			return fmt.Errorf("-only %q names no experiments", *only)
+		}
 	}
 	var records []benchRecord
 	err := experiments.RunEach(cfg, stdout, runners,
@@ -170,6 +233,7 @@ func run(args []string, stdout io.Writer) error {
 				Rows:    len(tab.Rows),
 				Columns: tab.Columns,
 				Kernel:  tab.Kernel,
+				Approx:  tab.Approx,
 			})
 		})
 	if err != nil {

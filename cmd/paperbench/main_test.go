@@ -120,3 +120,71 @@ func TestMergeTrajectoryGate(t *testing.T) {
 		t.Errorf("rejected merges modified the trajectory file")
 	}
 }
+
+func TestRunOnlyList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-quick", "-only", "E1,E3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"E1 —", "E3 —"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("output missing %s", id)
+		}
+	}
+	if strings.Contains(out, "E2 —") {
+		t.Errorf("-only E1,E3 also ran E2:\n%s", out)
+	}
+	if err := run([]string{"-only", "E1,,E99"}, &bytes.Buffer{}); err == nil {
+		t.Error("unknown experiment in -only list accepted")
+	}
+}
+
+// TestMergeTrajectoryApproxGate exercises the approximation-digest gates:
+// the absolute theorem bounds hold for every merge (even the first entry)
+// and the incremental-flow counters may not regress between entries.
+func TestMergeTrajectoryApproxGate(t *testing.T) {
+	path := t.TempDir() + "/traj.json"
+	good := func() []benchRecord {
+		return []benchRecord{{ID: "E19", Name: "approx gap", Millis: 5, Rows: 8,
+			Columns: []string{"family", "T"},
+			Approx: &experiments.ApproxSummary{
+				MaxRoundedOverLP: 1.4, MaxMinimalOverLP: 2.1,
+				MaxMinimalOverOPT: 1.6, ColdFlows: 1, Cells: 8,
+			}}}
+	}
+	for _, bad := range []struct {
+		name   string
+		mutate func(*experiments.ApproxSummary)
+	}{
+		{"rounded/LP above 2", func(a *experiments.ApproxSummary) { a.MaxRoundedOverLP = 2.01 }},
+		{"minimal/OPT above 3", func(a *experiments.ApproxSummary) { a.MaxMinimalOverOPT = 3.2 }},
+		{"defensive repairs", func(a *experiments.ApproxSummary) { a.Repairs = 2 }},
+		{"cold flows above 1", func(a *experiments.ApproxSummary) { a.ColdFlows = 7 }},
+		{"dropped proxy mass", func(a *experiments.ApproxSummary) { a.DroppedMass = 0.75 }},
+	} {
+		recs := good()
+		bad.mutate(recs[0].Approx)
+		if err := mergeTrajectory(path, "bad", recs); err == nil {
+			t.Errorf("%s: merge accepted", bad.name)
+		}
+	}
+	if _, err := os.ReadFile(path); !os.IsNotExist(err) {
+		t.Fatalf("rejected first merges created the trajectory file")
+	}
+	if err := mergeTrajectory(path, "pr7", good()); err != nil {
+		t.Fatalf("good merge: %v", err)
+	}
+	// Dropping the digest or regressing a counter vs the previous entry is
+	// rejected.
+	noDigest := good()
+	noDigest[0].Approx = nil
+	if err := mergeTrajectory(path, "bad", noDigest); err == nil {
+		t.Error("dropped approx digest accepted")
+	}
+	regressed := good()
+	regressed[0].Approx.ColdFlows = 1 // equal is fine...
+	if err := mergeTrajectory(path, "pr8", regressed); err != nil {
+		t.Errorf("equal counters rejected: %v", err)
+	}
+}

@@ -58,4 +58,27 @@
 // internal/lp and internal/flow for the exact warm-start, removal, reuse
 // and pricing contracts, and experiments E17/E18 for the measured scaling
 // records.
+//
+// The post-LP layer — rounding, minimal-feasible and the Theorem 1
+// certificate — scales to the same horizons as the solver. The
+// feasibility checker behind MinimalFeasible, IsMinimalFeasible, RoundLP's
+// repair loop and the exact search is flow-carrying: one max flow survives
+// every slot/job toggle (closing a flow-carrying slot cancels its length-3
+// source→job→slot→sink paths and Dinic reroutes only the difference;
+// zero-flow slots close for free), so a full closing sweep over T slots
+// runs exactly one from-zero max flow — the ColdFlows counter that the
+// scaling tests and the benchmark trajectory gate, deliberately instead of
+// wall time. RoundLP's segment sweep accumulates slot mass with
+// compensated (Kahan) summation and snaps against a scale-aware tolerance
+// yEps·sqrt(T) (the solver's own per-entry noise grows like sqrt(T); a
+// fixed epsilon misrounds integral parts at T = 32768), shared by the
+// right-shift, the charging ledger and the certificate arithmetic, and
+// reports per-phase timings plus the mass it could not place anywhere
+// (DroppedMass, gated ≈ 0). Experiment E19 is the approximation-gap
+// dashboard: every generator family × horizons up to 32768, LP value vs
+// rounded vs minimal-feasible cost vs exact optimum where reachable
+// (branch and bound at small T, the polynomial unit-job solver at every T),
+// with every row re-asserting the Theorem 1/2 bounds and the
+// incremental-flow contract; paperbench folds its digest into the
+// committed, gate-checked BENCH_TRAJECTORY.json.
 package repro

@@ -2,6 +2,7 @@ package activetime
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/intervals"
@@ -96,30 +97,173 @@ func (c *Theorem1Certificate) TwoTrackSplit() (j1, j2 []core.Job) {
 	return j1, j2
 }
 
+// schedIndex is a mutable view of an active schedule maintained
+// incrementally by the Lemma 1 movement process. The historical
+// implementation recomputed Load(), the slot occupancy and each job's
+// assigned set from sched.Assign on every probe — O(total units) map work
+// per query, quadratic over a transform run and a hard wall at T >= 4096.
+// The index pays that cost once and each unit move updates it in O(1) map
+// operations (plus a degree-bounded occupancy edit).
+type schedIndex struct {
+	in       *core.Instance
+	sched    *core.ActiveSchedule
+	load     map[core.Time]int
+	slotJobs map[core.Time][]int // hosted job IDs per slot, ascending
+	assigned map[int]map[core.Time]bool
+	open     map[core.Time]bool
+}
+
+func newSchedIndex(in *core.Instance, sched *core.ActiveSchedule) *schedIndex {
+	idx := &schedIndex{
+		in:       in,
+		sched:    sched,
+		load:     sched.Load(),
+		slotJobs: make(map[core.Time][]int, len(sched.Open)),
+		assigned: make(map[int]map[core.Time]bool, len(sched.Assign)),
+		open:     sched.OpenSet(),
+	}
+	ids := make([]int, 0, len(sched.Assign))
+	for id := range sched.Assign {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		set := make(map[core.Time]bool, len(sched.Assign[id]))
+		for _, t := range sched.Assign[id] {
+			set[t] = true
+			idx.slotJobs[t] = append(idx.slotJobs[t], id)
+		}
+		idx.assigned[id] = set
+	}
+	return idx
+}
+
+// nonFull reports whether t is an open slot with spare capacity.
+func (idx *schedIndex) nonFull(t core.Time) bool {
+	return idx.open[t] && idx.load[t] < idx.in.G
+}
+
+// isNonFullRigid reports whether job j occupies every non-full open slot of
+// its window (Definition 5).
+func (idx *schedIndex) isNonFullRigid(j core.Job) bool {
+	set := idx.assigned[j.ID]
+	for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
+		if idx.nonFull(t) && !set[t] {
+			return false
+		}
+	}
+	return true
+}
+
+// move relocates one unit of job id from slot s to slot u, updating the
+// schedule and every index.
+func (idx *schedIndex) move(id int, s, u core.Time) {
+	slots := idx.sched.Assign[id]
+	for k, v := range slots {
+		if v == s {
+			slots[k] = u
+			break
+		}
+	}
+	core.SortSlots(slots)
+	idx.assigned[id][u] = true
+	delete(idx.assigned[id], s)
+	idx.load[s]--
+	idx.load[u]++
+	hosted := idx.slotJobs[s]
+	for k, v := range hosted {
+		if v == id {
+			idx.slotJobs[s] = append(hosted[:k], hosted[k+1:]...)
+			break
+		}
+	}
+	at := sort.SearchInts(idx.slotJobs[u], id)
+	idx.slotJobs[u] = append(idx.slotJobs[u], 0)
+	copy(idx.slotJobs[u][at+1:], idx.slotJobs[u][at:])
+	idx.slotJobs[u][at] = id
+}
+
+// moveUnitOut moves one unit out of slot s to another live, open, non-full
+// slot where the job is not already scheduled, trying hosted jobs in
+// ascending ID order (the historical map-ordered scan was nondeterministic).
+// It returns the moved job's ID, or ok=false if no job in s can move.
+func (idx *schedIndex) moveUnitOut(s core.Time) (moved int, ok bool) {
+	for _, id := range idx.slotJobs[s] {
+		j, _ := idx.in.JobByID(id)
+		for u := j.FirstSlot(); u <= j.LastSlot(); u++ {
+			if u == s || !idx.nonFull(u) || idx.assigned[id][u] {
+				continue
+			}
+			idx.move(id, s, u)
+			return id, true
+		}
+	}
+	return 0, false
+}
+
 // lemma1Transform implements the movement process of Lemma 1: while some
 // non-full slot hosts no non-full-rigid job, move a unit out of it to
 // another live, active, non-full slot. Minimality guarantees the slot never
 // empties; a budget guards against implementation bugs.
+//
+// The scan memoizes anchors: once slot t is seen to host a non-full-rigid
+// job a, the pair stays valid until a itself moves a unit — moves never add
+// slots to the non-full set (only the move target can change fullness, by
+// filling up), so every other job's rigidity is monotone under the
+// transform. Each round therefore skips previously anchored slots in O(1)
+// and re-derives only what the last move could have changed, instead of
+// re-deriving every slot's anchor from scratch.
 func lemma1Transform(in *core.Instance, sched *core.ActiveSchedule) error {
 	budget := len(in.Jobs)*len(sched.Open)*4 + 64
+	idx := newSchedIndex(in, sched)
+	nonFull := make([]core.Time, 0, len(sched.Open))
+	for _, t := range sched.Open { // sched.Open is sorted
+		if idx.nonFull(t) {
+			nonFull = append(nonFull, t)
+		}
+	}
+	anchor := make(map[core.Time]int, len(nonFull))
 	for {
-		_, nonFull := splitByLoad(in, sched)
-		slot := firstUnanchoredSlot(in, sched, nonFull)
-		if slot == 0 {
+		slot, found := core.Time(0), false
+	scan:
+		for _, t := range nonFull {
+			if !idx.nonFull(t) { // filled up by an earlier move target
+				continue
+			}
+			if _, ok := anchor[t]; ok {
+				continue
+			}
+			for _, id := range idx.slotJobs[t] {
+				j, _ := in.JobByID(id)
+				if idx.isNonFullRigid(j) {
+					anchor[t] = id
+					continue scan
+				}
+			}
+			slot, found = t, true
+			break
+		}
+		if !found {
 			return nil
 		}
 		if budget == 0 {
 			return fmt.Errorf("activetime: Lemma 1 transform did not converge")
 		}
 		budget--
-		if !moveUnitOut(in, sched, slot) {
+		moved, ok := idx.moveUnitOut(slot)
+		if !ok {
 			// No job in the slot can move, yet none is non-full-rigid:
 			// impossible for a feasible schedule (every stuck job is by
 			// definition non-full-rigid).
 			return fmt.Errorf("activetime: slot %d stuck without a non-full-rigid job (bug)", slot)
 		}
-		if len(jobsInSlot(sched, slot)) == 0 {
+		if len(idx.slotJobs[slot]) == 0 {
 			return fmt.Errorf("activetime: slot %d emptied; input was not minimal feasible", slot)
+		}
+		for t, a := range anchor {
+			if a == moved {
+				delete(anchor, t)
+			}
 		}
 	}
 }
@@ -137,106 +281,21 @@ func splitByLoad(in *core.Instance, sched *core.ActiveSchedule) (full, nonFull [
 	return full, nonFull
 }
 
-// isNonFullRigid reports whether job j occupies every non-full open slot of
-// its window (Definition 5).
-func isNonFullRigid(in *core.Instance, sched *core.ActiveSchedule, j core.Job, nonFullSet map[core.Time]bool) bool {
-	assigned := make(map[core.Time]bool, len(sched.Assign[j.ID]))
-	for _, t := range sched.Assign[j.ID] {
-		assigned[t] = true
-	}
-	for t := j.FirstSlot(); t <= j.LastSlot(); t++ {
-		if nonFullSet[t] && !assigned[t] {
-			return false
-		}
-	}
-	return true
-}
-
-// firstUnanchoredSlot returns the earliest non-full slot hosting no
-// non-full-rigid job, or 0 if none.
-func firstUnanchoredSlot(in *core.Instance, sched *core.ActiveSchedule, nonFull []core.Time) core.Time {
-	nonFullSet := make(map[core.Time]bool, len(nonFull))
-	for _, t := range nonFull {
-		nonFullSet[t] = true
-	}
-	for _, t := range nonFull {
-		anchored := false
-		for _, id := range jobsInSlot(sched, t) {
-			j, _ := in.JobByID(id)
-			if isNonFullRigid(in, sched, j, nonFullSet) {
-				anchored = true
-				break
-			}
-		}
-		if !anchored {
-			return t
-		}
-	}
-	return 0
-}
-
-func jobsInSlot(sched *core.ActiveSchedule, t core.Time) []int {
-	var out []int
-	for id, slots := range sched.Assign {
-		for _, u := range slots {
-			if u == t {
-				out = append(out, id)
-				break
-			}
-		}
-	}
-	return out
-}
-
-// moveUnitOut moves one unit out of slot s to another live, open, non-full
-// slot where the job is not already scheduled. Returns false if no job in s
-// can move.
-func moveUnitOut(in *core.Instance, sched *core.ActiveSchedule, s core.Time) bool {
-	load := sched.Load()
-	open := sched.OpenSet()
-	for _, id := range jobsInSlot(sched, s) {
-		j, _ := in.JobByID(id)
-		assigned := make(map[core.Time]bool)
-		for _, u := range sched.Assign[id] {
-			assigned[u] = true
-		}
-		for u := j.FirstSlot(); u <= j.LastSlot(); u++ {
-			if u == s || !open[u] || assigned[u] || load[u] >= in.G {
-				continue
-			}
-			// Move the unit from s to u.
-			slots := sched.Assign[id]
-			for k, v := range slots {
-				if v == s {
-					slots[k] = u
-					break
-				}
-			}
-			core.SortSlots(slots)
-			return true
-		}
-	}
-	return false
-}
-
 // lemma2Witness extracts J*: one non-full-rigid job per non-full slot,
 // pruned so that no window contains another and at most two windows overlap
 // anywhere (via the same frontier selection as the Theorem 5 proof, which
 // preserves coverage of the union of windows).
 func lemma2Witness(in *core.Instance, sched *core.ActiveSchedule, nonFull []core.Time) []core.Job {
-	nonFullSet := make(map[core.Time]bool, len(nonFull))
-	for _, t := range nonFull {
-		nonFullSet[t] = true
-	}
+	idx := newSchedIndex(in, sched)
 	seen := make(map[int]bool)
 	var rigid []core.Job
 	for _, t := range nonFull {
-		for _, id := range jobsInSlot(sched, t) {
+		for _, id := range idx.slotJobs[t] {
 			if seen[id] {
 				continue
 			}
 			j, _ := in.JobByID(id)
-			if isNonFullRigid(in, sched, j, nonFullSet) {
+			if idx.isNonFullRigid(j) {
 				seen[id] = true
 				rigid = append(rigid, j)
 			}

@@ -81,13 +81,16 @@ func BuildChargingLedger(in *core.Instance, lpres *LPResult, opened []core.Time)
 	}
 	slots := append([]core.Time(nil), opened...)
 	sort.Slice(slots, func(a, b int) bool { return slots[a] < slots[b] })
-	// Classify the right-shifted masses of all slots (not just opened).
-	fullyOpen := func(t core.Time) bool { return shifted[t] >= 1-yEps }
-	halfOpen := func(t core.Time) bool { return shifted[t] >= 0.5-yEps && shifted[t] < 1-yEps }
+	// Classify the right-shifted masses of all slots (not just opened) with
+	// the same scale-aware tolerance RightShiftedY snapped them under, so
+	// the ledger and the rounding sweep agree on every classification.
+	tol := roundingTol(len(shifted) - 1)
+	fullyOpen := func(t core.Time) bool { return shifted[t] >= 1-tol }
+	halfOpen := func(t core.Time) bool { return shifted[t] >= 0.5-tol && shifted[t] < 1-tol }
 	for _, t := range slots {
 		y := shifted[t]
 		switch {
-		case y >= 0.5-yEps:
+		case y >= 0.5-tol:
 			led.Charges = append(led.Charges, Charge{Slot: t, Y: y, Kind: ChargeSelf})
 		default:
 			// Barely open (possibly zero if a proxy pointed here): charge

@@ -1,15 +1,23 @@
 package activetime
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/core"
 )
 
+// ErrSearchBudget is wrapped by SolveExact when the branch-and-bound node
+// budget is exhausted before optimality is proven; callers that only want
+// the optimum "where reachable" (the approximation-gap experiment) detect
+// it with errors.Is and fall back to bound-only reporting.
+var ErrSearchBudget = errors.New("activetime: exact search node budget exhausted")
+
 // ExactOptions bounds the exact search.
 type ExactOptions struct {
 	// MaxNodes caps the number of branch-and-bound nodes explored
-	// (default 5e6). The search returns an error when exceeded.
+	// (default 5e6). The search returns an error wrapping ErrSearchBudget
+	// when exceeded.
 	MaxNodes int64
 }
 
@@ -64,7 +72,7 @@ func SolveExact(in *core.Instance, opts ExactOptions) (*core.ActiveSchedule, err
 	// Decide from the rightmost slot down.
 	s.dfs(len(slots)-1, nil)
 	if s.nodesExceeded {
-		return nil, fmt.Errorf("activetime: exact search exceeded %d nodes", maxNodes)
+		return nil, fmt.Errorf("%w (%d nodes)", ErrSearchBudget, maxNodes)
 	}
 	return Assign(in, s.best)
 }

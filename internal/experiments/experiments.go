@@ -27,6 +27,10 @@ type Table struct {
 	// it into the machine-readable bench records so the benchmark
 	// trajectory can gate on kernel behavior, not just wall time.
 	Kernel *KernelSummary
+	// Approx, when set, digests the run's worst-case approximation ratios
+	// and incremental-flow counters (E19); paperbench exports it alongside
+	// Kernel and gates the committed trajectory on the theorem bounds.
+	Approx *ApproxSummary
 }
 
 // KernelSummary is the deterministic kernel-counter digest of one solve:
@@ -127,6 +131,7 @@ func All() []Runner {
 		{"E16", "Wall-clock scaling of the polynomial algorithms", E16Scaling},
 		{"E17", "LP1 pipeline at large horizons (batched vs single-cut)", E17LPScaling},
 		{"E18", "Pivot-cost scaling of the LU/eta simplex core", E18PivotCost},
+		{"E19", "Approximation gap across families and horizons", E19ApproxGap},
 	}
 }
 
