@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	paperbench [-quick] [-only E5 | -only E18,E19] [-seed 7] [-bench-json out.json] [-merge-bench traj.json -label pr7]
+//	paperbench [-quick] [-only E5 | -only E18,E19] [-seed 7] [-bench-json out.json] [-merge-bench traj.json -label pr7] [-merge-from records.json]
 //
 // With -bench-json, per-experiment wall times are also written to the given
 // path as a JSON array (one object per experiment: id, name, millis, rows,
@@ -24,6 +24,9 @@
 // hypersparse share must not collapse, and the approximation counters must
 // not regress. Wall times are recorded but deliberately not gated — they
 // are machine-dependent; the gated metrics are the deterministic ones.
+// With -merge-from, the records of a previous run's -bench-json output are
+// merged instead of running the experiments — the same gates apply; only
+// the hours-long recomputation is skipped.
 package main
 
 import (
@@ -135,11 +138,29 @@ func checkNonRegression(prev trajectoryEntry, records []benchRecord) error {
 			if r.Kernel == nil {
 				return fmt.Errorf("%s dropped its kernel digest", r.ID)
 			}
-			// Generous floor: legitimate retunes move the share a little,
-			// losing the hypersparse path entirely zeroes it.
-			if r.Kernel.HyperShare < p.Kernel.HyperShare-0.15 {
+			// Halving band, not a fixed offset: kernel retunes move the
+			// share a little, but a representation change moves it a lot
+			// without losing anything — switching the basis from the
+			// product-form eta file to Forrest–Tomlin updates took the E18
+			// headline share 0.618 -> 0.408 (spike fill densifies the
+			// updated-U reach) at a ~4x wall-clock win. Losing the
+			// hypersparse path entirely still zeroes the share, which no
+			// band survives; the endurance gates pin the absolute floor.
+			if r.Kernel.HyperShare < p.Kernel.HyperShare/2 {
 				return fmt.Errorf("%s hypersparse share collapsed: %.3f -> %.3f",
 					r.ID, p.Kernel.HyperShare, r.Kernel.HyperShare)
+			}
+			// Forrest–Tomlin non-collapse: once a headline run maintains its
+			// basis with in-place updates, a later run silently degrading to
+			// per-pivot refactorization (updates -> 0) or resurrecting the
+			// eta-dot pass the representation eliminated must not merge.
+			if p.Kernel.FTUpdates > 0 && r.Kernel.FTUpdates == 0 {
+				return fmt.Errorf("%s Forrest–Tomlin updates collapsed: %d -> 0 (per-pivot refactorization?)",
+					r.ID, p.Kernel.FTUpdates)
+			}
+			if p.Kernel.FTUpdates > 0 && p.Kernel.EtaDotOps == 0 && r.Kernel.EtaDotOps > 0 {
+				return fmt.Errorf("%s eta-dot pass resurfaced on the FT default: %d entries traversed",
+					r.ID, r.Kernel.EtaDotOps)
 			}
 		}
 		if p.Approx != nil && r.Approx == nil {
@@ -197,11 +218,30 @@ func run(args []string, stdout io.Writer) error {
 	benchJSON := fs.String("bench-json", "", "write per-experiment wall times as JSON to this path")
 	mergeBench := fs.String("merge-bench", "", "append this run to the benchmark-trajectory JSON at the given path (gated, see package doc)")
 	label := fs.String("label", "", "entry label for -merge-bench (required with it)")
+	mergeFrom := fs.String("merge-from", "", "merge the records in this -bench-json file instead of running experiments (requires -merge-bench; every merge gate still applies)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *mergeBench != "" && *label == "" {
 		return fmt.Errorf("-merge-bench requires -label")
+	}
+	if *mergeFrom != "" {
+		// Replay path: the experiments already ran (their -bench-json output
+		// is the input here), so only the merge — with its full gate set —
+		// happens. Useful when a multi-hour run passed every absolute gate
+		// but a trajectory calibration needed fixing before the merge.
+		if *mergeBench == "" {
+			return fmt.Errorf("-merge-from requires -merge-bench")
+		}
+		data, err := os.ReadFile(*mergeFrom)
+		if err != nil {
+			return err
+		}
+		var records []benchRecord
+		if err := json.Unmarshal(data, &records); err != nil {
+			return fmt.Errorf("parsing %s: %w", *mergeFrom, err)
+		}
+		return mergeTrajectory(*mergeBench, *label, records)
 	}
 
 	cfg := experiments.Config{Quick: *quick, Seed: *seed}

@@ -16,13 +16,23 @@
 // The Section-3 solve pipeline is fully incremental and scales to very
 // large horizons: the simplex engine (internal/lp) is a sparse revised
 // simplex whose basis lives in a factorized representation — a sparse LU
-// (Markowitz-style ordering, threshold partial pivoting) plus a
-// product-form eta file, with FTRAN/BTRAN solves in place of every inverse
-// product, periodic refactorization, native variable upper bounds,
-// warm-started re-solves from the previous optimal basis
-// (Problem.ResolveFrom, bounded dual simplex with Harris-style tie-broken
-// bound flips over newly appended cuts), and in-place removal of slack
-// rows (Problem.RemoveRows). Pricing is rule-selectable
+// (Markowitz-style ordering, threshold partial pivoting) maintained across
+// pivots by Forrest–Tomlin updates: each basis change deletes the leaving
+// column of U, appends the entering spike (captured for free during the
+// entering-column FTRAN), and eliminates the resulting row bump into a
+// short list of row etas, so FTRAN/BTRAN traverse only L, the updated U
+// and those row etas — never a per-pivot-growing eta-file product (the
+// KernelStats.EtaDotOps counter is structurally zero). A spike whose
+// eliminated diagonal falls below the pivot tolerance is refused and the
+// post-pivot basis refactorized from scratch (ForcedRefactors); scheduled
+// folds trigger on an update-count or updated-U fill bound. The
+// product-form eta file is kept as a selectable ablation
+// (Problem.SetFactorization). Around the factorization sit FTRAN/BTRAN
+// solves in place of every inverse product, periodic refactorization,
+// native variable upper bounds, warm-started re-solves from the previous
+// optimal basis (Problem.ResolveFrom, bounded dual simplex with
+// Harris-style tie-broken bound flips over newly appended cuts), and
+// in-place removal of slack rows (Problem.RemoveRows). Pricing is rule-selectable
 // (Problem.SetPricing): the default maintains Forrest–Goldfarb dual
 // steepest-edge reference weights incrementally across every pivot,
 // RemoveRows and refactorization — falling back to devex max-form updates
@@ -42,9 +52,11 @@
 // are repaired locally along the bipartite network's length-3 paths and
 // Dinic augments only the difference. The cut generation in
 // internal/activetime rides all of it: each round's single max-flow probe
-// yields the global minimum cut plus per-deficient-job Hall violators, the
-// per-round cut cap adapts to the horizon, and a cut registry tracks age
-// and slack per cut — by complementary slackness, slack tracking is
+// yields the global minimum cut plus per-deficient-job Hall violators —
+// the per-job residual reachability walks fan out across goroutines on the
+// settled flow, their harvest replayed in deterministic serial order so
+// parallelism is invisible in the output — the per-round cut cap adapts to
+// the horizon, and a cut registry tracks age and slack per cut — by complementary slackness, slack tracking is
 // dual-activity tracking — purging persistently slack rows from the live
 // master between rounds. The dense-inverse predecessor needed ~90 s for
 // the T = 4096 scaling family and could not reach T = 16384 at all; the

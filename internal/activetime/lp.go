@@ -2,7 +2,10 @@ package activetime
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/flow"
@@ -130,11 +133,25 @@ func SolveLPPricing(in *core.Instance, rule lp.PricingRule) (*LPResult, error) {
 	return solveLP(in, lpOptions{purge: true, pricing: rule})
 }
 
+// SolveLPFactorization is the factorization-rule ablation entry point
+// mirroring SolveLPPricing: the default pipeline with the master's basis
+// representation pinned to the given rule. SolveLP itself runs
+// lp.FactorizationFT (Forrest–Tomlin updates); the product-form eta file
+// (lp.FactorizationPFI) exists for E18's ablation columns, the CI endurance
+// gate, and the cross-solver property suite, which asserts both rules reach
+// the exact optimum.
+func SolveLPFactorization(in *core.Instance, rule lp.FactorizationRule) (*LPResult, error) {
+	return solveLP(in, lpOptions{purge: true, factorization: rule})
+}
+
 // lpOptions selects the cut lifecycle and pricing policy of one solveLP run.
 type lpOptions struct {
 	batchCap int            // cuts per separation round; 0 = adaptive in the horizon
 	purge    bool           // purge persistently slack cuts between rounds
 	pricing  lp.PricingRule // master pricing rule (zero value = steepest edge)
+	// factorization selects the master's basis representation (zero value =
+	// Forrest–Tomlin updates; lp.FactorizationPFI is the eta-file ablation).
+	factorization lp.FactorizationRule
 	// denseKernels pins the master's triangular solves to the dense path
 	// (lp.Problem.SetDenseKernels); pivotHook observes every master basis
 	// change (lp.Problem.SetPivotHook). Both exist for the kernel
@@ -157,6 +174,7 @@ func solveLP(in *core.Instance, opts lpOptions) (*LPResult, error) {
 		return nil, err
 	}
 	prob.SetPricing(opts.pricing)
+	prob.SetFactorization(opts.factorization)
 	prob.SetDenseKernels(opts.denseKernels)
 	prob.SetPivotHook(opts.pivotHook)
 	batchCap := opts.batchCap
@@ -259,6 +277,10 @@ type separator struct {
 	slotJobs    [][]slotRef              // transpose of jobEdges: per slot, incoming job edges
 	total       float64
 	incremental bool
+	// serialWalks pins separateAll's residual walks to the sequential
+	// path; the parallel-vs-serial equality test flips it to assert the
+	// fan-out is a pure wall-time optimization.
+	serialWalks bool
 }
 
 // slotRef locates one job→slot edge from the slot side: jobEdges[job][k].
@@ -422,6 +444,11 @@ func (s *separator) separate(y []float64) (A []bool, violated bool) {
 // rows only pad an already-cheap master.
 const maxBatchCuts = 32
 
+// maxParallelWalks bounds the residual walks separateAll precomputes in
+// parallel per probe: twice the cut cap, since covered-filter skips mean the
+// replay can consume deficits beyond the first maxBatchCuts.
+const maxParallelWalks = 2 * maxBatchCuts
+
 func (s *separator) separateAll(y []float64, cap int) [][]bool {
 	if !s.load(y) {
 		return nil
@@ -453,14 +480,58 @@ func (s *separator) separateAll(y []float64, cap int) [][]bool {
 		return short[a].job < short[b].job
 	})
 	covered := make([]bool, nJobs)
-	for _, d := range short {
+	// Fan the residual walks out across goroutines: once the max flow has
+	// settled, ReachableFrom only reads the residual adjacency and keeps
+	// all visit state local, so the walks for distinct deficient jobs are
+	// mutually independent. The covered-filter replay below stays
+	// sequential and consumes the precomputed walks in exactly the order
+	// the serial loop takes them, so the harvested sets are byte-identical
+	// — the fan-out changes wall time, never output (the strict
+	// set-equality incremental-vs-fresh harness and FuzzSeparation lock
+	// this). Walks whose job an earlier set covers are discarded, so only
+	// the maxParallelWalks deepest deficits are precomputed; in the rare
+	// round that skips past the window, the replay falls back to computing
+	// the remaining walks on demand.
+	walks := len(short)
+	if walks > maxParallelWalks {
+		walks = maxParallelWalks
+	}
+	var reaches [][]bool
+	if workers := runtime.GOMAXPROCS(0); walks >= 2 && workers > 1 && !s.serialWalks {
+		if workers > walks {
+			workers = walks
+		}
+		reaches = make([][]bool, walks)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= walks {
+						return
+					}
+					reaches[i] = s.net.ReachableFrom(1+short[i].job, s.src)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for di, d := range short {
 		if len(out) >= cap {
 			break
 		}
 		if covered[d.job] {
 			continue
 		}
-		reach := s.net.ReachableFrom(1+d.job, s.src)
+		var reach []bool
+		if di < len(reaches) {
+			reach = reaches[di]
+		} else {
+			reach = s.net.ReachableFrom(1+d.job, s.src)
+		}
 		B := make([]bool, nJobs)
 		for k := 0; k < nJobs; k++ {
 			if reach[1+k] {

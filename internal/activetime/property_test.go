@@ -47,11 +47,13 @@ var lpFamilies = []struct {
 // TestLPCrossSolverMetamorphic is the cross-solver property suite of the
 // LP1 pipeline: on every family, the batched float pipeline under every
 // pricing rule (steepest-edge — the default —, devex, and the Dantzig
-// baseline), the single-cut float pipeline, and the exact rational pipeline
-// must agree on the LP optimum to 1e-6 — independently wrong solvers
-// agreeing on ~150 instances × 5 pipelines is the strongest equivalence
-// evidence the repo can buy without a reference LP library. Batching must
-// also never need more separation rounds than single-cut generation.
+// baseline) and under both factorization rules (Forrest–Tomlin updates —
+// the default — and the product-form eta-file ablation), the single-cut
+// float pipeline, and the exact rational pipeline must agree on the LP
+// optimum to 1e-6 — independently wrong solvers agreeing on ~150 instances
+// × 6 pipelines is the strongest equivalence evidence the repo can buy
+// without a reference LP library. Batching must also never need more
+// separation rounds than single-cut generation.
 func TestLPCrossSolverMetamorphic(t *testing.T) {
 	const seedsPerFamily = 22 // 7 families × 22 = 154 instances
 	pricingRules := []lp.PricingRule{lp.PricingDantzig, lp.PricingDevex}
@@ -89,6 +91,13 @@ func TestLPCrossSolverMetamorphic(t *testing.T) {
 				if math.Abs(ruled.Objective-want) > 1e-6 {
 					t.Errorf("%s seed %d: %v LP %.9f, exact %.9f", fam.name, seed, rule, ruled.Objective, want)
 				}
+			}
+			pfi, err := SolveLPFactorization(in, lp.FactorizationPFI)
+			if err != nil {
+				t.Fatalf("%s seed %d: SolveLPFactorization(pfi): %v", fam.name, seed, err)
+			}
+			if math.Abs(pfi.Objective-want) > 1e-6 {
+				t.Errorf("%s seed %d: pfi LP %.9f, exact %.9f", fam.name, seed, pfi.Objective, want)
 			}
 			if batched.Rounds > single.Rounds {
 				t.Errorf("%s seed %d: batched took %d rounds, single-cut only %d",

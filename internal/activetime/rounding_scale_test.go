@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gen"
+	"repro/internal/lp"
 )
 
 // TestTrialCloseMatchesFreshFlow is the equivalence property behind the
@@ -183,6 +184,47 @@ func TestSlotRepairerOrder(t *testing.T) {
 	}
 	if _, err := rep.next(opened); err == nil {
 		t.Error("exhausted repairer returned a slot instead of an error")
+	}
+}
+
+// TestRoundingHybridCloseRepairFree pins the instances on which the
+// historical due-jobs-only close rule produced integrally infeasible sweeps
+// (hundreds of defensive repairs: the proxy mass of a certified close
+// migrated past the deadlines of not-yet-due jobs sharing the closed slot,
+// breaking their joint Hall condition on mass-bound-tight optimal
+// vertices). The hybrid close rule — certify every close against the full
+// hybrid solution — must round all of them repair-free under both
+// factorization rules, whose different optimal vertices are what exposed
+// the bug in the first place.
+func TestRoundingHybridCloseRepairFree(t *testing.T) {
+	cases := []struct {
+		T    int
+		seed int64
+	}{{1024, 0}, {1024, 5}, {2048, 11}, {4096, 8}}
+	for _, c := range cases {
+		in := gen.LargeHorizon(gen.RandomConfig{N: c.T / 8, Horizon: c.T, MaxLen: 16, G: 4, Seed: c.seed})
+		for _, rule := range []lp.FactorizationRule{lp.FactorizationFT, lp.FactorizationPFI} {
+			lpres, err := SolveLPFactorization(in, rule)
+			if err != nil {
+				t.Fatalf("T=%d seed %d %v: SolveLP: %v", c.T, c.seed, rule, err)
+			}
+			res, err := roundWithLP(in, lpres)
+			if err != nil {
+				t.Fatalf("T=%d seed %d %v: round: %v", c.T, c.seed, rule, err)
+			}
+			if res.Repairs != 0 {
+				t.Errorf("T=%d seed %d %v: %d defensive repairs, want 0", c.T, c.seed, rule, res.Repairs)
+			}
+			if verr := core.VerifyActive(in, res.Schedule); verr != nil {
+				t.Errorf("T=%d seed %d %v: rounded schedule invalid: %v", c.T, c.seed, rule, verr)
+			}
+			if float64(res.Opened) > 2*res.LPValue+1e-6 {
+				t.Errorf("T=%d seed %d %v: opened %d > 2·LP = %.6f", c.T, c.seed, rule, res.Opened, 2*res.LPValue)
+			}
+			if res.ColdFlows > 1 {
+				t.Errorf("T=%d seed %d %v: %d cold flows, incremental contract allows 1", c.T, c.seed, rule, res.ColdFlows)
+			}
+		}
 	}
 }
 

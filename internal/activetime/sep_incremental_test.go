@@ -193,6 +193,57 @@ func TestSeparatorIncrementalShrink(t *testing.T) {
 	}
 }
 
+// TestSeparatorParallelWalkEquivalence locks the goroutine fan-out of the
+// per-deficient-job residual walks: two persistent incremental separators
+// driven through identical y sequences — one with the walks pinned serial —
+// must harvest positionally identical batches. Equality is exact, not
+// merely unordered: the parallel path precomputes the walks and replays
+// them through the covered filter in the serial loop's order, so
+// parallelism is required to be invisible in the output.
+func TestSeparatorParallelWalkEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed + 1000))
+		in := lpFamilies[int(seed)%len(lpFamilies)].make(seed)
+		T := int(in.Horizon())
+		par := newSeparator(in)
+		par.incremental = true
+		ser := newSeparator(in)
+		ser.incremental = true
+		ser.serialWalks = true
+		y := make([]float64, T)
+		for step := 0; step < 20; step++ {
+			switch step % 3 {
+			case 0:
+				for t2 := range y {
+					y[t2] = rng.Float64()
+				}
+			case 1:
+				lo := rng.Intn(T)
+				hi := lo + 1 + rng.Intn(T-lo)
+				for t2 := lo; t2 < hi; t2++ {
+					y[t2] = 0
+				}
+			case 2:
+				for k := 0; k < 3; k++ {
+					y[rng.Intn(T)] = rng.Float64()
+				}
+			}
+			bPar := par.separateAll(y, maxBatchCuts)
+			bSer := ser.separateAll(y, maxBatchCuts)
+			if len(bPar) != len(bSer) {
+				t.Fatalf("seed %d step %d: parallel harvested %d sets, serial %d",
+					seed, step, len(bPar), len(bSer))
+			}
+			for k := range bPar {
+				if jobSetKey(bPar[k]) != jobSetKey(bSer[k]) {
+					t.Fatalf("seed %d step %d: set %d differs between parallel and serial walks",
+						seed, step, k)
+				}
+			}
+		}
+	}
+}
+
 // FuzzSeparation fuzzes the incremental separation oracle against the
 // fresh-per-load reference: any decodable instance plus any seed-derived
 // sequence of y vectors must yield identical max-flow values, identical

@@ -42,6 +42,17 @@ type KernelSummary struct {
 	BtranAvgNNZ float64 `json:"btranAvgNnz"` // mean result nonzeros per hypersparse BTRAN
 	RowRefills  int     `json:"rowRefills"`  // dual working-set refill sweeps
 	Pivots      int     `json:"pivots"`      // simplex pivots on the headline run
+	// Factorization-update digest of the headline run (the Forrest–Tomlin
+	// default): in-place updates applied, mean spike nonzeros absorbed per
+	// update, stability-forced refactorizations, peak updated-U fill as a
+	// percentage of the refactorization-time factors, and eta-file entries
+	// traversed — structurally zero under FT, the whole point of the
+	// representation, and gated as such by the trajectory merge.
+	FTUpdates       int     `json:"ftUpdates"`
+	FTSpikeAvgNNZ   float64 `json:"ftSpikeAvgNnz"`
+	ForcedRefactors int     `json:"forcedRefactors"`
+	UFillMaxPct     int     `json:"uFillMaxPct"`
+	EtaDotOps       int     `json:"etaDotOps"`
 }
 
 // AddRow appends a formatted row.

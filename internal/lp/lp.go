@@ -19,19 +19,30 @@
 // never materialized. All pivoting state lives in a factorized basis
 // representation (factor.go): a sparse LU of the basis — refactorized with
 // a static Markowitz-style column ordering and threshold partial pivoting —
-// plus a product-form eta file holding one sparse eta operation per basis
-// change since. Every former B⁻¹·v product is an FTRAN (triangular solves
-// through L and U, then the eta file) and every vᵀ·B⁻¹ product a BTRAN
-// (the same chain transposed, in reverse), so per-pivot work is
-// O(m + nnz(L+U) + nnz(etas) + nnz of the priced rows) — nothing of size
-// m² or n×m is ever stored, written or scanned. The dense-inverse
-// predecessor's O(m²) rank-one updates capped the Benders master near a
-// thousand rows; the factorized core carries the same pipeline to tens of
-// thousands.
+// kept current across basis changes by Forrest–Tomlin updates: each pivot
+// replaces the leaving column of U in place with the entering column's
+// spike (its partial FTRAN through L and the accumulated row etas) and
+// eliminates the resulting row bump into one short row-eta operation plus
+// a rotation of U's triangular order. Every former B⁻¹·v product is an
+// FTRAN (a triangular solve through L, the row-eta list, and the updated
+// U) and every vᵀ·B⁻¹ product a BTRAN (the same chain transposed, in
+// reverse), so per-pivot work is O(m + nnz(L+U) + nnz(row etas) + nnz of
+// the priced rows) — nothing of size m² or n×m is ever stored, written or
+// scanned, and no pass over a growing product-form eta file is ever paid.
+// The product-form (PFI) eta-file representation is retained for ablation
+// behind SetFactorization, and the dense-inverse predecessor's O(m²)
+// rank-one updates capped the Benders master near a thousand rows; the
+// factorized core carries the same pipeline to tens of thousands.
 //
-// The eta file is folded into a fresh LU when it reaches maxEtas
-// operations or etaBloat times the factor size, after every append or
-// removal of rows, and on every resync; each refactorization immediately
+// The updated factors are folded into a fresh LU when the update count
+// reaches maxFTUpdates or the updated U (plus its row etas) grows past
+// ftFillBloat times the refactorization-time fill, after every append or
+// removal of rows, on every resync, and — counted separately in
+// KernelStats.ForcedRefactors — whenever a spike's eliminated diagonal
+// falls below the stability tolerance, in which case the pre-update
+// factors are discarded untouched and rebuilt from the post-pivot basis.
+// (The PFI ablation folds at maxEtas operations or etaBloat times the
+// factor size, its original policy.) Each refactorization immediately
 // re-derives the basic values and reduced costs so the incremental state
 // never disagrees with the factors. The dual ratio test orders its
 // candidates by ratio with Harris-style tie-breaking (largest pivot
@@ -52,7 +63,8 @@
 // float operations in the identical order, which makes the path choice a
 // pure cost knob that can never perturb the pivot trajectory (the
 // equivalence suite in package activetime asserts identical pivot
-// sequences, and SetDenseKernels pins the dense path for that ablation).
+// sequences within each factorization rule, and SetDenseKernels pins the
+// dense path for that ablation).
 // When an expanding reach crosses a capped fraction of m the solve aborts
 // to the dense kernel — near-dense intermediates make symbolic bookkeeping
 // pure overhead — and a per-caller-class run counter then skips the doomed
@@ -223,6 +235,36 @@ func (r PricingRule) String() string {
 	return "?"
 }
 
+// FactorizationRule selects how the float engine keeps its factorized
+// basis current across pivots. Both rules reach the same optima (the
+// cross-solver property suites assert it for each); they differ in the
+// per-pivot solve cost and — because their floating-point rounding
+// differs — possibly in the pivot trajectory taken.
+type FactorizationRule int
+
+const (
+	// FactorizationFT is the default: Forrest–Tomlin updates that rewrite
+	// U in place at every basis change (spike column in, eliminated row
+	// bump out as one short row eta), so FTRAN/BTRAN traverse only L, the
+	// updated U, and the row-eta list — no pass over a growing eta file.
+	FactorizationFT FactorizationRule = iota
+	// FactorizationPFI is the product-form ablation baseline: the factors
+	// stay frozen at the last refactorization and every basis change
+	// appends one column eta to a product-form eta file that both solve
+	// directions must traverse in full (the pre-FT behavior).
+	FactorizationPFI
+)
+
+func (r FactorizationRule) String() string {
+	switch r {
+	case FactorizationFT:
+		return "forrest-tomlin"
+	case FactorizationPFI:
+		return "pfi"
+	}
+	return "?"
+}
+
 // Status reports the outcome of a solve.
 type Status int
 
@@ -262,8 +304,9 @@ type Problem struct {
 	// warm re-solve can reject a basis that missed a removal — a pure
 	// row-count comparison cannot tell remove-k-then-append-k from
 	// append-only.
-	removeEpoch int
-	pricing     PricingRule
+	removeEpoch   int
+	pricing       PricingRule
+	factorization FactorizationRule
 	// denseKernels forces every FTRAN/BTRAN through the dense triangular
 	// solves, disabling the hypersparse reach path (ablation hook; see
 	// SetDenseKernels). pivotHook, when set, observes every basis change
@@ -318,6 +361,20 @@ func (p *Problem) SetPricing(r PricingRule) {
 
 // Pricing returns the pricing rule new engine states will use.
 func (p *Problem) Pricing() PricingRule { return p.pricing }
+
+// SetFactorization selects how the float engine maintains its factorized
+// basis across pivots (FactorizationFT by default; FactorizationPFI keeps
+// the product-form eta file for ablation, exactly as PricingDantzig keeps
+// the pre-steepest-edge pricing). Like SetPricing, the rule is read when
+// an engine state is created and rides with that state for its life, so
+// changing it between warm re-solves has no effect until the next cold
+// start. The exact rational engine is unaffected.
+func (p *Problem) SetFactorization(r FactorizationRule) {
+	p.factorization = r
+}
+
+// Factorization returns the factorization rule new engine states will use.
+func (p *Problem) Factorization() FactorizationRule { return p.factorization }
 
 // SetDenseKernels forces the float engine's triangular solves onto the
 // dense path, bypassing the hypersparse symbolic-reach kernels. The two
@@ -468,10 +525,15 @@ type Solution struct {
 	// rounds that end without a pivot are not counted, so summing Iterations
 	// across a cut-generation loop never double-counts work.
 	Iterations int
-	// Refactors counts basis refactorizations performed during the call:
-	// the sparse-LU rebuilds triggered by appended or removed rows, by the
-	// eta file reaching its length or fill limit, and by drift resyncs.
-	// Together with Iterations it is the solver-effort figure the scaling
+	// Refactors counts every basis refactorization performed during the
+	// call. Most are scheduled folds: sparse-LU rebuilds triggered by
+	// appended or removed rows, by the updated factors reaching their
+	// update-count or fill limit (the eta file's length/fill limit under
+	// the PFI ablation), and by drift resyncs. The remainder are
+	// stability-forced: a Forrest–Tomlin spike whose eliminated diagonal
+	// fell below the pivot tolerance, counted separately in
+	// Kernel.ForcedRefactors (always a subset of this total). Together
+	// with Iterations it is the solver-effort figure the scaling
 	// experiments report.
 	Refactors int
 	// Kernel reports the triangular-solve kernel activity of the call:
@@ -495,6 +557,28 @@ type KernelStats struct {
 	FtranHyperNNZ int // total result nonzeros over hypersparse FTRANs
 	BtranHyperNNZ int // total result nonzeros over hypersparse BTRANs
 	RowRefills    int // dual working-set refill sweeps
+	// FTUpdates counts Forrest–Tomlin in-place basis updates applied, and
+	// FTSpikeNNZ the total spike-column nonzeros those updates absorbed
+	// into U (the per-update fill pressure). Both are zero under the PFI
+	// ablation.
+	FTUpdates  int
+	FTSpikeNNZ int
+	// ForcedRefactors counts refactorizations forced by a Forrest–Tomlin
+	// spike whose eliminated diagonal fell below the stability tolerance
+	// (the update is abandoned with the old factors untouched and the
+	// post-pivot basis refactorized from scratch). Always a subset of
+	// Solution.Refactors.
+	ForcedRefactors int
+	// EtaDotOps counts product-form eta-file entries traversed by the
+	// solve kernels — the per-pivot-growing pass the Forrest–Tomlin
+	// representation exists to eliminate. Structurally zero on the FT
+	// path; under the PFI ablation it grows with etas × their fill.
+	EtaDotOps int
+	// UFillMaxPct is the peak size of the updated U plus its row etas as a
+	// percentage of the refactorization-time factor fill — the gauge the
+	// fold policy caps. It is a high-water mark, not a flow: minus carries
+	// the current peak through and Accumulate takes the max.
+	UFillMaxPct int
 }
 
 func (k *KernelStats) noteFtran(hyper bool, nnz int) {
@@ -519,13 +603,18 @@ func (k *KernelStats) noteBtran(hyper bool, nnz int) {
 // per-call figures out of lifetime counters.
 func (k KernelStats) minus(o KernelStats) KernelStats {
 	return KernelStats{
-		FtranHyper:    k.FtranHyper - o.FtranHyper,
-		FtranDense:    k.FtranDense - o.FtranDense,
-		BtranHyper:    k.BtranHyper - o.BtranHyper,
-		BtranDense:    k.BtranDense - o.BtranDense,
-		FtranHyperNNZ: k.FtranHyperNNZ - o.FtranHyperNNZ,
-		BtranHyperNNZ: k.BtranHyperNNZ - o.BtranHyperNNZ,
-		RowRefills:    k.RowRefills - o.RowRefills,
+		FtranHyper:      k.FtranHyper - o.FtranHyper,
+		FtranDense:      k.FtranDense - o.FtranDense,
+		BtranHyper:      k.BtranHyper - o.BtranHyper,
+		BtranDense:      k.BtranDense - o.BtranDense,
+		FtranHyperNNZ:   k.FtranHyperNNZ - o.FtranHyperNNZ,
+		BtranHyperNNZ:   k.BtranHyperNNZ - o.BtranHyperNNZ,
+		RowRefills:      k.RowRefills - o.RowRefills,
+		FTUpdates:       k.FTUpdates - o.FTUpdates,
+		FTSpikeNNZ:      k.FTSpikeNNZ - o.FTSpikeNNZ,
+		ForcedRefactors: k.ForcedRefactors - o.ForcedRefactors,
+		EtaDotOps:       k.EtaDotOps - o.EtaDotOps,
+		UFillMaxPct:     k.UFillMaxPct, // high-water mark: the peak to date stands
 	}
 }
 
@@ -539,6 +628,13 @@ func (k *KernelStats) Accumulate(o KernelStats) {
 	k.FtranHyperNNZ += o.FtranHyperNNZ
 	k.BtranHyperNNZ += o.BtranHyperNNZ
 	k.RowRefills += o.RowRefills
+	k.FTUpdates += o.FTUpdates
+	k.FTSpikeNNZ += o.FTSpikeNNZ
+	k.ForcedRefactors += o.ForcedRefactors
+	k.EtaDotOps += o.EtaDotOps
+	if o.UFillMaxPct > k.UFillMaxPct {
+		k.UFillMaxPct = o.UFillMaxPct
+	}
 }
 
 // FtranAvgNNZ returns the mean result support of the hypersparse FTRANs

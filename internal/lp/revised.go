@@ -23,19 +23,26 @@ import (
 // Per pivot the engine performs:
 //
 //   - an FTRAN (w = B⁻¹·A_q): the entering column's sparse entries solved
-//     through L, U and the eta file, O(m + nnz(factors));
+//     through L, the row etas, and the updated U (through L, the frozen U
+//     and the eta file under the PFI ablation), O(m + nnz(factors));
 //   - a BTRAN (rho = e_rᵀ·B⁻¹) for the leaving row when the dual ratio test
 //     or the reduced-cost update needs the pivot row;
 //   - a pivot-row sweep alpha = rho·A over the sparse rows touching rho,
 //     accumulating into a touched-column list, O(Σ nnz of touched rows) —
 //     this is what prices cuts without ever scanning a dense row of
 //     length n;
-//   - an eta-file append of nnz(w) entries plus an O(|touched|) in-place
-//     reduced-cost update — nothing of size m² is ever written.
+//   - a Forrest–Tomlin update of U in place — spike column in, bump row
+//     eliminated into one short row eta, O(nnz(spike) + bump closure)
+//     written (an eta-file append of nnz(w) entries under the PFI
+//     ablation) — plus an O(|touched|) in-place reduced-cost update:
+//     nothing of size m² is ever written.
 //
-// The eta file is folded into a fresh LU when it grows past maxEtas
-// operations or etaBloat times the factor size, when rows are appended or
-// removed (factorStale), and on every resync. Numerical drift is controlled
+// The updated factors are folded into a fresh LU on the fold policy of the
+// active factorization rule (update count / fill growth for Forrest–Tomlin,
+// maxEtas operations or etaBloat times the factor size for the PFI
+// ablation), when rows are appended or removed (factorStale), on every
+// resync, and — forced, counted in KernelStats.ForcedRefactors — when a
+// spike fails the update's stability tolerance. Numerical drift is controlled
 // exactly as documented in the package comment: the reduced-cost row is
 // refreshed periodically and before any optimality claim, and a conclusion
 // of dual infeasibility is only accepted after a full refactorization plus
@@ -60,7 +67,7 @@ type revised struct {
 	logRow  []int32   // per logical column (index col-n): owning row
 	logSign []float64 // +1 slack/artificial, -1 surplus
 
-	f           factor  // LU + eta-file basis representation (see factor.go)
+	f           factor  // factorized basis: LU + FT updates or eta file (see factor.go)
 	factorStale bool    // basis structure changed; refactorize before solving
 	broken      bool    // refactorization failed; only IterLimit may be reported
 	probRow     []int32 // per Problem row: engine row, or -1 if presolved away
@@ -149,11 +156,14 @@ type revised struct {
 	pivotHook func(row, col int) // observes basis changes; nil outside tests
 }
 
-// Refactorization policy: fold the eta file into a fresh LU when it holds
-// maxEtas operations (bounding both solve cost and accumulated update
-// error), or earlier when its nonzeros dwarf the factors themselves
-// (etaBloat × (nnz(LU) + m)) — dense-ish pivot columns on covering masters
-// can bloat the file long before the operation count trips.
+// Refactorization policy of the PFI ablation: fold the eta file into a
+// fresh LU when it holds maxEtas operations (bounding both solve cost and
+// accumulated update error), or earlier when its nonzeros dwarf the factors
+// themselves (etaBloat × (nnz(LU) + m)) — dense-ish pivot columns on
+// covering masters can bloat the file long before the operation count
+// trips. The default Forrest–Tomlin rule folds on its own update-count and
+// fill-growth policy (maxFTUpdates/ftFillBloat in factor.go): its solve
+// cost does not grow per pivot, so only fill and roundoff need bounding.
 const (
 	maxEtas  = 96
 	etaBloat = 8
@@ -278,6 +288,8 @@ func newRevised(p *Problem) *revised {
 		pivotHook:  p.pivotHook,
 	}
 	t.f.forceDense = p.denseKernels
+	t.f.rule = p.factorization
+	t.f.stats = &t.kstats
 	// The initial all-logical basis is a signed permutation, so every row
 	// of its inverse has norm exactly 1: the weight set starts exact.
 	for i := range t.dseW {
@@ -1078,9 +1090,21 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 		t.updateWeights(row)
 	}
 
-	// Record the basis change in the eta file instead of a dense rank-one
-	// inverse update: O(nnz(w)) written, nothing of size m².
-	if t.wSparse {
+	// Record the basis change instead of a dense rank-one inverse update: a
+	// Forrest–Tomlin in-place update of U by default (consuming the spike
+	// the entering FTRAN stashed), an eta-file append under the PFI
+	// ablation — O(nnz(spike)) written either way, nothing of size m².
+	forcedRefactor := false
+	if t.f.rule == FactorizationFT {
+		if !t.f.ftUpdate(row) {
+			// The spike's eliminated diagonal failed the stability
+			// tolerance, so the update refused and the factors still
+			// describe the pre-pivot basis. Finish the basis bookkeeping,
+			// then refactorize from the post-pivot basis below.
+			t.kstats.ForcedRefactors++
+			forcedRefactor = true
+		}
+	} else if t.wSparse {
 		t.f.pushEtaSparse(row, w, t.wInd)
 	} else {
 		t.f.pushEta(row, w)
@@ -1101,13 +1125,22 @@ func (t *revised) applyPivot(row, col int, dir, delta float64, toUpper bool, alp
 	t.noteDualRow(row)
 	t.pivots++
 	t.sinceRefresh++
-	// Fold the eta file into a fresh LU before it dominates solve cost or
-	// accumulates drift. The basis bookkeeping above is already final, so
-	// the refactorization sees exactly the post-pivot basis. The basic
-	// values and reduced costs are re-derived immediately: they carry the
-	// eta-era incremental updates, and letting them disagree with the
+	// Fold the updated factors into a fresh LU before they accumulate fill
+	// or drift (or immediately, when a stability-forced refactorization is
+	// pending). The basis bookkeeping above is already final, so the
+	// refactorization sees exactly the post-pivot basis. The basic values
+	// and reduced costs are re-derived immediately: they carry the
+	// update-era incremental state, and letting them disagree with the
 	// fresh factors makes the dual ratio test chase phantom violations.
-	if t.f.etas() >= maxEtas || t.f.etaNNZ() > etaBloat*(t.f.luNNZ+t.m) {
+	fold := forcedRefactor
+	if !fold {
+		if t.f.rule == FactorizationFT {
+			fold = t.f.ftShouldFold()
+		} else {
+			fold = t.f.etas() >= maxEtas || t.f.etaNNZ() > etaBloat*(t.f.luNNZ+t.m)
+		}
+	}
+	if fold {
 		if t.factorizeNow() {
 			t.refreshRed()
 		}
