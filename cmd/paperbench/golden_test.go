@@ -27,6 +27,9 @@ type benchSchema struct {
 	// Approx likewise pins which experiments expose an approximation digest
 	// and its exact key set.
 	Approx []string `json:"approx,omitempty"`
+	// Delta likewise pins which experiments expose a live-session delta
+	// digest and its exact key set.
+	Delta []string `json:"delta,omitempty"`
 }
 
 // TestBenchJSONSchemaGolden locks the machine-readable benchmark schema:
@@ -61,6 +64,9 @@ func TestBenchJSONSchemaGolden(t *testing.T) {
 		if _, ok := rec["approx"]; ok {
 			extra++
 		}
+		if _, ok := rec["delta"]; ok {
+			extra++
+		}
 		if len(rec) != len(wantKeys)+extra {
 			t.Fatalf("record %d has %d keys, want %d (%v)", i, len(rec), len(wantKeys)+extra, rec)
 		}
@@ -93,6 +99,9 @@ func TestBenchJSONSchemaGolden(t *testing.T) {
 		}
 		if appr, ok := raw[i]["approx"].(map[string]any); ok {
 			records[i].Approx = sortedKeys(appr)
+		}
+		if del, ok := raw[i]["delta"].(map[string]any); ok {
+			records[i].Delta = sortedKeys(del)
 		}
 	}
 	got, err := json.MarshalIndent(records, "", "  ")

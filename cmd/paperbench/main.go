@@ -10,19 +10,21 @@
 // path as a JSON array (one object per experiment: id, name, millis, rows,
 // columns — the table's column headers, so downstream bench tooling can pin
 // the effort columns it parses — and, for experiments that report them, a
-// kernel digest of deterministic simplex-kernel counters and an
-// approximation digest of realized theorem-bound ratios), feeding the
-// machine-readable benchmark trajectory. The golden test in this package
-// locks the schema.
+// kernel digest of deterministic simplex-kernel counters, an
+// approximation digest of realized theorem-bound ratios, and a delta
+// digest of live-session re-solve counters), feeding the machine-readable
+// benchmark trajectory. The golden test in this package locks the schema.
 //
 // With -merge-bench, the run's records are appended to a committed
 // benchmark-trajectory file as a new labelled entry, after gating: every
 // record's approximation digest must satisfy the absolute theorem bounds
 // (rounded/LP <= 2, minimal/OPT <= 3, zero repairs, at most one cold flow
-// per solve), and against the latest existing entry the experiment set must
-// not shrink, no experiment may lose table columns, the kernel digest's
-// hypersparse share must not collapse, and the approximation counters must
-// not regress. Wall times are recorded but deliberately not gated — they
+// per solve), every delta digest must show delta-vs-cold agreement to 1e-6
+// with zero warm-start fallbacks and a >= 5x headline arrival pivot ratio
+// at T >= 4096, and against the latest existing entry the experiment set
+// must not shrink, no experiment may lose table columns, the kernel
+// digest's hypersparse share must not collapse, and the approximation and
+// delta counters must not regress. Wall times are recorded but deliberately not gated — they
 // are machine-dependent; the gated metrics are the deterministic ones.
 // With -merge-from, the records of a previous run's -bench-json output are
 // merged instead of running the experiments — the same gates apply; only
@@ -61,6 +63,7 @@ type benchRecord struct {
 	Columns []string                   `json:"columns"`
 	Kernel  *experiments.KernelSummary `json:"kernel,omitempty"`
 	Approx  *experiments.ApproxSummary `json:"approx,omitempty"`
+	Delta   *experiments.DeltaSummary  `json:"delta,omitempty"`
 }
 
 // trajectoryEntry is one labelled run in the committed benchmark
@@ -88,6 +91,9 @@ func mergeTrajectory(path, label string, records []benchRecord) error {
 	}
 	for _, r := range records {
 		if err := checkApprox(r); err != nil {
+			return fmt.Errorf("bench trajectory gate: %w", err)
+		}
+		if err := checkDelta(r); err != nil {
 			return fmt.Errorf("bench trajectory gate: %w", err)
 		}
 	}
@@ -166,6 +172,24 @@ func checkNonRegression(prev trajectoryEntry, records []benchRecord) error {
 		if p.Approx != nil && r.Approx == nil {
 			return fmt.Errorf("%s dropped its approximation digest", r.ID)
 		}
+		if p.Delta != nil && r.Delta == nil {
+			return fmt.Errorf("%s dropped its delta digest", r.ID)
+		}
+		if p.Delta != nil && r.Delta != nil {
+			// The fallback counter is an absolute contract (checkDelta pins
+			// it at zero), but gate it against the previous entry too so the
+			// absolute gate can never be loosened without this one going off.
+			if r.Delta.ColdFallbacks > p.Delta.ColdFallbacks {
+				return fmt.Errorf("%s warm-start fallbacks regressed: %d -> %d",
+					r.ID, p.Delta.ColdFallbacks, r.Delta.ColdFallbacks)
+			}
+			// Once the headline cell runs at the full horizon, a later entry
+			// shrinking it would quietly disarm the >= 5x ratio gate.
+			if r.Delta.HeadlineT < p.Delta.HeadlineT {
+				return fmt.Errorf("%s headline horizon shrank: %d -> %d (disarms the pivot-ratio gate)",
+					r.ID, p.Delta.HeadlineT, r.Delta.HeadlineT)
+			}
+		}
 		if p.Approx != nil && r.Approx != nil {
 			// The incremental-flow counters are absolute contracts, but also
 			// gate them against the previous entry so a creeping regression
@@ -206,6 +230,30 @@ func checkApprox(r benchRecord) error {
 	}
 	if a.DroppedMass > 0.5 {
 		return fmt.Errorf("%s dropped %.6f proxy mass (breaks the charging audit)", r.ID, a.DroppedMass)
+	}
+	return nil
+}
+
+// checkDelta enforces the absolute gates on a record's live-session delta
+// digest: every delta re-solve must match its cold twin to 1e-6, the
+// warm-start fallback counter must be exactly zero (a nonzero count means
+// the simplex silently abandoned a live basis), and at the full headline
+// horizon the arrival re-solve must be at least 5x cheaper in pivots than
+// solving cold — the tentpole claim of the delta machinery.
+func checkDelta(r benchRecord) error {
+	d := r.Delta
+	if d == nil {
+		return nil
+	}
+	if d.MaxObjDelta > 1e-6 {
+		return fmt.Errorf("%s delta re-solves diverged %.3e from cold optima (tolerance 1e-6)", r.ID, d.MaxObjDelta)
+	}
+	if d.ColdFallbacks != 0 {
+		return fmt.Errorf("%s fired %d warm-start fallbacks (must be 0: fallbacks are counted, never silent)", r.ID, d.ColdFallbacks)
+	}
+	if d.HeadlineT >= 4096 && d.HeadlineAddRatio < 5 {
+		return fmt.Errorf("%s headline arrival re-solve only %.2fx cheaper than cold at T=%d (want >= 5x)",
+			r.ID, d.HeadlineAddRatio, d.HeadlineT)
 	}
 	return nil
 }
@@ -274,6 +322,7 @@ func run(args []string, stdout io.Writer) error {
 				Columns: tab.Columns,
 				Kernel:  tab.Kernel,
 				Approx:  tab.Approx,
+				Delta:   tab.Delta,
 			})
 		})
 	if err != nil {

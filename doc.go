@@ -93,4 +93,35 @@
 // with every row re-asserting the Theorem 1/2 bounds and the
 // incremental-flow contract; paperbench folds its digest into the
 // committed, gate-checked BENCH_TRAJECTORY.json.
+//
+// Above the one-shot solvers sits a live-instance delta layer:
+// activetime.Session keeps a solved LP1 master, its factorized basis, the
+// cut registry and the separation network alive between solves, and
+// patches all four in place as the instance changes. Session.AddJobs
+// splices arrivals into the live master — new slot columns enter through
+// lp.Problem.AddColumns (priced into the existing basis, no
+// refactorization), new seed rows and separation-network arcs are
+// appended, and the batch is validated against a prospective clone first
+// so an infeasible arrival is rejected atomically. Session.RemoveJobs
+// drops departures the same way: the registry's stored witnesses name
+// exactly the rows touching a departed job, lp.Problem.RemoveRows excises
+// them from the live state when their slacks are basic, and the
+// separation network detaches the jobs flow-preservingly
+// (SetCapacityKeepFlow plus length-3-path PushBack cancellation) instead
+// of being rebuilt; when a departed row is tight in the basis the removal
+// falls back to a counted master rebuild (SessionStats.ColdRebuilds).
+// Nothing in this layer may fail silently: a warm re-solve that abandons
+// its basis is counted and its verdict recorded
+// (LPResult.ColdFallbacks/FallbackVerdicts — the canonical scaling gates
+// and the benchmark trajectory pin the count at zero), and the
+// delta-vs-cold metamorphic suite plus FuzzInstanceDelta hold every
+// patched re-solve to the cold optimum within 1e-6 across all generator
+// families. Experiment E20 records the dividend — a small arrival batch
+// at T = 4096 re-solves ≥ 5× cheaper in pivots than solving cold — and
+// cmd/activeserve serves the whole layer over HTTP: per-tenant sessions
+// behind context-aware locks, concurrent mutations coalesced into one
+// batched re-solve per tenant (single-flight), results cached across
+// tenants by instance fingerprint, per-request deadlines with typed
+// overload/deadline/infeasible errors, and /metrics counters that surface
+// every fallback and rebuild.
 package repro

@@ -1,7 +1,6 @@
 package activetime
 
 import (
-	"fmt"
 	"runtime"
 	"sort"
 	"sync"
@@ -33,6 +32,14 @@ type LPResult struct {
 	// activity across all master solves: hypersparse-vs-dense path counts,
 	// hypersparse result supports, and dual working-set refills.
 	Kernel lp.KernelStats
+	// ColdFallbacks sums the master solves' warm-basis abandonments (see
+	// lp.Solution.ColdFallbacks) and FallbackVerdicts collects their
+	// triggering verdicts. Healthy trajectories keep the count at zero —
+	// the scaling gates assert exactly that — so a warm-start regression
+	// that silently degrades every re-solve to a cold solve is loud here,
+	// never masked.
+	ColdFallbacks    int
+	FallbackVerdicts []string
 }
 
 // newMaster builds the Benders master over the y variables: unit objective,
@@ -161,89 +168,23 @@ type lpOptions struct {
 	pivotHook    func(row, col int)
 }
 
+// solveLP runs every one-shot pipeline through the session machinery: a
+// fresh Session whose first Solve is exactly the cold Benders loop. Sessions
+// kept alive after this call additionally accept AddJobs/RemoveJobs deltas
+// (see Session); routing the one-shot entry points through the same code
+// path is what keeps the delta-vs-cold metamorphic suite meaningful.
 func solveLP(in *core.Instance, opts lpOptions) (*LPResult, error) {
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	if !CheckFeasible(in, AllSlots(in)) {
-		return nil, ErrInfeasible
-	}
-	T := int(in.Horizon())
-	prob, err := newMaster(in)
+	s, err := newSession(in, opts)
 	if err != nil {
 		return nil, err
 	}
-	prob.SetPricing(opts.pricing)
-	prob.SetFactorization(opts.factorization)
-	prob.SetDenseKernels(opts.denseKernels)
-	prob.SetPivotHook(opts.pivotHook)
-	batchCap := opts.batchCap
-	if batchCap == 0 {
-		batchCap = adaptiveBatchCap(in)
-	}
-	sep := newSeparator(in)
-	sep.incremental = true
-	res := &LPResult{Cuts: len(in.Jobs)}
-	reg := newCutRegistry(prob.NumConstraints())
-	var basis *lp.Basis
-	maxRounds := 20*T + 200
-	for round := 0; round < maxRounds; round++ {
-		res.Rounds++
-		sol, nextBasis, err := prob.ResolveFrom(basis)
-		if err != nil {
-			return nil, err
-		}
-		if sol.Status != lp.Optimal {
-			return nil, fmt.Errorf("activetime: LP master %v", sol.Status)
-		}
-		basis = nextBasis
-		res.Pivots += sol.Iterations
-		res.Refactors += sol.Refactors
-		res.Kernel.Accumulate(sol.Kernel)
-		y := sol.X
-		if opts.purge {
-			reg.observeX(y)
-			res.Purged += reg.purge(prob, basis)
-		}
-		batchA := sep.separateAll(y, batchCap)
-		added := 0
-		for _, A := range batchA {
-			key := jobSetKey(A)
-			if reg.inMaster(key) {
-				continue
-			}
-			cols, vals, rhs := cutFor(in, A)
-			if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
-				return nil, err
-			}
-			reg.add(key, cols, vals, rhs)
-			added++
-		}
-		if added == 0 {
-			// Converged: either the probe found no violated set, or every
-			// set it surfaced is already in the master and satisfied within
-			// the solver's tolerance (the probe's 1e-6 flow slack and the
-			// master's 1e-6 row tolerance meet here).
-			res.Y = make([]float64, T+1)
-			for t := 1; t <= T; t++ {
-				v := y[t-1]
-				if v < 0 {
-					v = 0
-				}
-				if v > 1 {
-					v = 1
-				}
-				res.Y[t] = v
-			}
-			res.Objective = sol.Objective
-			return res, nil
-		}
-		res.Cuts += added
-	}
-	return nil, fmt.Errorf("activetime: LP cut generation did not converge in %d rounds", maxRounds)
+	return s.Solve()
 }
 
-// jobSetKey packs a job subset into a compact map key.
+// jobSetKey packs a job subset into a compact map key. The hot-path
+// registry dedup no longer uses it (hashJobSet + witness compares are
+// allocation-free; see cutRegistry); it remains for the exact engine's
+// small-instance cut map and the separation tests' set comparisons.
 func jobSetKey(A []bool) string {
 	b := make([]byte, (len(A)+7)/8)
 	for i, a := range A {
@@ -267,10 +208,19 @@ func jobSetKey(A []bool) string {
 // repaired residual state, routing just the difference instead of the full
 // demand P over a ~T-node network every round. Fresh mode (load) rebuilds
 // the flow from zero and is kept as the equivalence-test reference.
+//
+// The network also survives instance deltas (Session): jobNode/slotNode map
+// job positions and slots to their flow-network nodes, so growth appends
+// nodes past the original sink (addSlots, addJob) and job removal
+// (removeJobs) cancels the departed jobs' routed flow edge-locally with the
+// same SetCapacityKeepFlow+PushBack repair the incremental loads use,
+// leaving the surviving flow intact instead of rebuilding the network.
 type separator struct {
 	in          *core.Instance
 	net         *flow.Network[float64]
 	src, sink   int
+	jobNode     []int                    // index i: flow node of job i
+	slotNode    []int                    // index t-1: flow node of slot t
 	srcEdges    []flow.EdgeID[float64]   // index i: source → job i
 	slotEdges   []flow.EdgeID[float64]   // index t-1: slot t → sink
 	jobEdges    [][]flow.EdgeID[float64] // per job, per window slot offset
@@ -297,26 +247,114 @@ func newSeparator(in *core.Instance) *separator {
 		net:       flow.NewNetwork[float64](2+nJobs+T, eps),
 		src:       0,
 		sink:      1 + nJobs + T,
+		jobNode:   make([]int, nJobs),
+		slotNode:  make([]int, T),
 		srcEdges:  make([]flow.EdgeID[float64], nJobs),
 		slotEdges: make([]flow.EdgeID[float64], T),
 		jobEdges:  make([][]flow.EdgeID[float64], nJobs),
 		slotJobs:  make([][]slotRef, T),
 	}
-	slotNode := func(t core.Time) int { return 1 + nJobs + int(t) - 1 }
 	for t := 1; t <= T; t++ {
-		s.slotEdges[t-1] = s.net.AddEdge(slotNode(core.Time(t)), s.sink, 0)
+		s.slotNode[t-1] = 1 + nJobs + t - 1
+		s.slotEdges[t-1] = s.net.AddEdge(s.slotNode[t-1], s.sink, 0)
 	}
 	for i, j := range in.Jobs {
-		s.srcEdges[i] = s.net.AddEdge(s.src, 1+i, float64(j.Length))
+		s.jobNode[i] = 1 + i
+		s.srcEdges[i] = s.net.AddEdge(s.src, s.jobNode[i], float64(j.Length))
 		s.total += float64(j.Length)
 		ids := make([]flow.EdgeID[float64], 0, int(j.LastSlot()-j.FirstSlot())+1)
 		for k, t := 0, j.FirstSlot(); t <= j.LastSlot(); k, t = k+1, t+1 {
-			ids = append(ids, s.net.AddEdge(1+i, slotNode(t), 0))
+			ids = append(ids, s.net.AddEdge(s.jobNode[i], s.slotNode[t-1], 0))
 			s.slotJobs[t-1] = append(s.slotJobs[t-1], slotRef{int32(i), int32(k)})
 		}
 		s.jobEdges[i] = ids
 	}
 	return s
+}
+
+// addSlots grows the slot axis to newT slots: new slot nodes appended past
+// the original sink, each with a zero-capacity slot→sink edge that the next
+// load re-capacitates from y. Growth never renumbers an existing node, so
+// all routed flow and every stored EdgeID stay valid.
+func (s *separator) addSlots(newT int) {
+	for t := len(s.slotNode); t < newT; t++ {
+		node := s.net.AddNode()
+		s.slotNode = append(s.slotNode, node)
+		s.slotEdges = append(s.slotEdges, s.net.AddEdge(node, s.sink, 0))
+		s.slotJobs = append(s.slotJobs, nil)
+	}
+}
+
+// addJob splices a new job (at position len(jobNode)) into the live network:
+// one node, a supply edge carrying its length, and zero-capacity window
+// edges. The job's demand is routed by the next load's Max augmentation on
+// top of the surviving flow. The slot axis must already cover the job's
+// window (addSlots).
+func (s *separator) addJob(j core.Job) {
+	i := len(s.jobNode)
+	node := s.net.AddNode()
+	s.jobNode = append(s.jobNode, node)
+	s.srcEdges = append(s.srcEdges, s.net.AddEdge(s.src, node, float64(j.Length)))
+	s.total += float64(j.Length)
+	ids := make([]flow.EdgeID[float64], 0, int(j.LastSlot()-j.FirstSlot())+1)
+	for k, t := 0, j.FirstSlot(); t <= j.LastSlot(); k, t = k+1, t+1 {
+		ids = append(ids, s.net.AddEdge(node, s.slotNode[t-1], 0))
+		s.slotJobs[t-1] = append(s.slotJobs[t-1], slotRef{int32(i), int32(k)})
+	}
+	s.jobEdges = append(s.jobEdges, ids)
+}
+
+// removeJobs detaches the masked jobs from the live network without touching
+// anyone else's flow: each dead job's window edges are clamped to zero
+// capacity with the excess cancelled along the rest of its length-3 paths
+// (the loadIncremental repair), its supply edge closed, and the per-job
+// arrays compacted to the surviving positions. Must run before the caller
+// compacts its job slice — the dead jobs' windows are still read here. The
+// dead nodes stay in the network, unreachable behind zero capacities.
+func (s *separator) removeJobs(dead []bool) {
+	for i, j := range s.in.Jobs {
+		if !dead[i] {
+			continue
+		}
+		ids := s.jobEdges[i]
+		for k, t := 0, j.FirstSlot(); t <= j.LastSlot(); k, t = k+1, t+1 {
+			if ex := s.net.SetCapacityKeepFlow(ids[k], 0); ex > 0 {
+				s.net.PushBack(s.srcEdges[i], ex)
+				s.net.PushBack(s.slotEdges[t-1], ex)
+			}
+		}
+		s.net.SetCapacityKeepFlow(s.srcEdges[i], 0)
+		s.total -= float64(j.Length)
+	}
+	out := 0
+	for i := range s.jobEdges {
+		if dead[i] {
+			continue
+		}
+		s.jobNode[out] = s.jobNode[i]
+		s.srcEdges[out] = s.srcEdges[i]
+		s.jobEdges[out] = s.jobEdges[i]
+		out++
+	}
+	s.jobNode = s.jobNode[:out]
+	s.srcEdges = s.srcEdges[:out]
+	for i := out; i < len(s.jobEdges); i++ {
+		s.jobEdges[i] = nil
+	}
+	s.jobEdges = s.jobEdges[:out]
+	for t := range s.slotJobs {
+		s.slotJobs[t] = s.slotJobs[t][:0]
+	}
+	np := 0
+	for i, j := range s.in.Jobs {
+		if dead[i] {
+			continue
+		}
+		for k, t := 0, j.FirstSlot(); t <= j.LastSlot(); k, t = k+1, t+1 {
+			s.slotJobs[t-1] = append(s.slotJobs[t-1], slotRef{int32(np), int32(k)})
+		}
+		np++
+	}
 }
 
 // load solves the feasibility subproblem for y, reporting whether y is
@@ -411,7 +449,7 @@ func (s *separator) separate(y []float64) (A []bool, violated bool) {
 	side := s.net.MinCutSource(s.src)
 	A = make([]bool, len(s.in.Jobs))
 	for i := range s.in.Jobs {
-		A[i] = side[1+i]
+		A[i] = side[s.jobNode[i]]
 	}
 	return A, true
 }
@@ -458,7 +496,7 @@ func (s *separator) separateAll(y []float64, cap int) [][]bool {
 	side := s.net.MinCutSource(s.src)
 	A := make([]bool, nJobs)
 	for i := range s.in.Jobs {
-		A[i] = side[1+i]
+		A[i] = side[s.jobNode[i]]
 	}
 	out = append(out, A)
 	// Deficient jobs, deepest deficiency first, so the cap keeps the most
@@ -513,7 +551,7 @@ func (s *separator) separateAll(y []float64, cap int) [][]bool {
 					if i >= walks {
 						return
 					}
-					reaches[i] = s.net.ReachableFrom(1+short[i].job, s.src)
+					reaches[i] = s.net.ReachableFrom(s.jobNode[short[i].job], s.src)
 				}
 			}()
 		}
@@ -530,11 +568,11 @@ func (s *separator) separateAll(y []float64, cap int) [][]bool {
 		if di < len(reaches) {
 			reach = reaches[di]
 		} else {
-			reach = s.net.ReachableFrom(1+d.job, s.src)
+			reach = s.net.ReachableFrom(s.jobNode[d.job], s.src)
 		}
 		B := make([]bool, nJobs)
 		for k := 0; k < nJobs; k++ {
-			if reach[1+k] {
+			if reach[s.jobNode[k]] {
 				B[k] = true
 				covered[k] = true
 			}

@@ -2,6 +2,7 @@ package activetime
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -64,21 +65,161 @@ func TestAdaptiveBatchCapPolicy(t *testing.T) {
 	}
 }
 
+// setOf builds a job-set mask over n positions from the listed indices.
+func setOf(n int, idx ...int) []bool {
+	A := make([]bool, n)
+	for _, i := range idx {
+		A[i] = true
+	}
+	return A
+}
+
 // TestRegistryPinsRepurgedCuts checks the termination guard: a cut key
 // purged once and re-added is never purged again.
 func TestRegistryPinsRepurgedCuts(t *testing.T) {
 	reg := newCutRegistry(0)
-	reg.add("k", []int{0}, []float64{1}, 1)
-	rec := reg.byKey["k"]
+	n := purgeMinCuts + 2
+	pinned := setOf(n, 0)
+	reg.add(pinned, []int{0}, []float64{1}, 1)
+	rec := reg.lookup(pinned)
+	if rec == nil {
+		t.Fatal("added cut not found by lookup")
+	}
 	rec.everPurged = true // as if it had been purged and re-added
 	rec.slackRounds = purgeAfterRounds + 5
-	for i := 0; i < purgeMinCuts; i++ { // clear the small-master floor
-		reg.add(string(rune('a'+i)), []int{0}, []float64{1}, 1)
+	for i := 1; i <= purgeMinCuts; i++ { // clear the small-master floor
+		reg.add(setOf(n, i), []int{0}, []float64{1}, 1)
 	}
 	if n := reg.purge(nil, nil); n != 0 {
 		t.Fatalf("pinned cut purged (%d rows removed)", n)
 	}
 	if !rec.inMaster {
 		t.Fatal("pinned cut lost its master row")
+	}
+}
+
+// refKey is the reference dedup key the registry's hash+witness scheme must
+// agree with: the packed bitmask with trailing zero bytes stripped, so the
+// same position set keys identically at every universe size (the property
+// the canonical hash preserves across session AddJobs growth).
+func refKey(A []bool) string {
+	b := []byte(jobSetKey(A))
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return string(b)
+}
+
+// TestRegistryKeyEquivalence locks the hash-key rework against the string
+// reference: over randomized add/lookup sequences — including re-queries of
+// the same set at a grown universe size — the registry's inMaster answers
+// must match a reference map keyed by the canonical packed string.
+func TestRegistryKeyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		reg := newCutRegistry(0)
+		ref := make(map[string]bool)
+		n := 1 + rng.Intn(40)
+		for step := 0; step < 60; step++ {
+			if rng.Intn(12) == 0 {
+				n += rng.Intn(8) // the universe grows, as under Session.AddJobs
+			}
+			A := make([]bool, n)
+			for i := range A {
+				A[i] = rng.Intn(3) == 0
+			}
+			if got, want := reg.inMaster(A), ref[refKey(A)]; got != want {
+				t.Fatalf("trial %d step %d: inMaster = %v, reference %v (set %v)", trial, step, got, want, A)
+			}
+			if !ref[refKey(A)] && rng.Intn(2) == 0 {
+				reg.add(A, []int{0}, []float64{1}, 1)
+				ref[refKey(A)] = true
+			}
+		}
+	}
+}
+
+// TestRegistryHashCollisions forces every job set onto one hash bucket and
+// checks the stored-witness compare still separates distinct sets exactly —
+// the collision path a 64-bit key makes astronomically rare in production
+// but which correctness must not depend on.
+func TestRegistryHashCollisions(t *testing.T) {
+	reg := newCutRegistry(0)
+	reg.hashFn = func([]bool) uint64 { return 42 }
+	sets := [][]bool{
+		setOf(9, 0),
+		setOf(9, 1),
+		setOf(9, 0, 1),
+		setOf(9, 8),
+		setOf(9, 0, 8),
+	}
+	for i, A := range sets {
+		for j, B := range sets[:i] {
+			_ = j
+			if !reg.inMaster(B) {
+				t.Fatalf("set %d lost after later adds", j)
+			}
+		}
+		if reg.inMaster(A) {
+			t.Fatalf("set %d reported present before add", i)
+		}
+		reg.add(A, []int{0}, []float64{1}, 1)
+		if !reg.inMaster(A) {
+			t.Fatalf("set %d not found after add", i)
+		}
+	}
+	if len(reg.byHash) != 1 {
+		t.Fatalf("expected one collision bucket, got %d", len(reg.byHash))
+	}
+	if got := len(reg.byHash[42]); got != len(sets) {
+		t.Fatalf("bucket holds %d records, want %d", got, len(sets))
+	}
+	// A grown-universe re-query of an existing set still matches its witness.
+	grown := make([]bool, 40)
+	grown[0] = true
+	if !reg.inMaster(grown) {
+		t.Fatal("canonical witness did not match the same set at a larger universe")
+	}
+}
+
+// TestRegistryRemapJobs locks the session-compaction path: after jobs are
+// removed and positions shift, records touching removed jobs vanish and
+// surviving records answer under their remapped position sets.
+func TestRegistryRemapJobs(t *testing.T) {
+	reg := newCutRegistry(4) // seed rows for jobs 0..3
+	reg.add(setOf(4, 0, 2), []int{0}, []float64{1}, 1)
+	reg.add(setOf(4, 1, 3), []int{1}, []float64{1}, 1)
+	reg.add(setOf(4, 3), []int{2}, []float64{1}, 1)
+	// Remove job 1 (position 1): its seed row (row 1) and the cut {1,3}
+	// (row 5) leave the master.
+	dead := make([]bool, len(reg.rows))
+	dead[1] = true
+	dead[5] = true
+	reg.dropRows(dead)
+	posMap := []int32{0, -1, 1, 2}
+	reg.remapJobs(posMap, 3)
+	if !reg.inMaster(setOf(3, 0, 1)) { // was {0,2}
+		t.Error("surviving cut {0,2} lost under remap")
+	}
+	if !reg.inMaster(setOf(3, 2)) { // was {3}
+		t.Error("surviving cut {3} lost under remap")
+	}
+	if reg.lookup(setOf(3, 0, 2)) != nil && reg.lookup(setOf(3, 0, 2)).inMaster {
+		t.Error("cut touching the removed job still reports in-master")
+	}
+	// Seed rows: jobs 0,2,3 survive at positions 0,1,2; rows are seed(0),
+	// seed(2), seed(3), cut, cut after the drop+remap.
+	wantJobs := []int32{0, 1, 2}
+	seeds := 0
+	for _, rr := range reg.rows {
+		if rr.rec == nil {
+			if rr.job != wantJobs[seeds] {
+				t.Errorf("seed row %d maps to job %d, want %d", seeds, rr.job, wantJobs[seeds])
+			}
+			seeds++
+		}
+	}
+	if seeds != 3 {
+		t.Errorf("%d seed rows survive, want 3", seeds)
 	}
 }

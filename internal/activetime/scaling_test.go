@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"math"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -102,6 +103,15 @@ func runCanonicalEndurance(t *testing.T, T, maxPivots, maxUsPerPivot int, rule l
 	}
 	if def.Purged == 0 {
 		t.Errorf("cut purging never fired at T=%d; lifecycle policy is dead at scale", T)
+	}
+	// The warm-start escape hatch must never fire on the canonical
+	// trajectory: every round's basis must resolve from where the last
+	// round left it. A nonzero count means a cut round handed the simplex
+	// a basis it silently abandoned — the exact failure mode the counter
+	// exists to surface.
+	if def.ColdFallbacks != 0 {
+		t.Errorf("warm-start fallback fired %d times at T=%d; verdicts:\n  %s",
+			def.ColdFallbacks, T, strings.Join(def.FallbackVerdicts, "\n  "))
 	}
 	checkKernelRegime(t, def, maxPivots, maxUsPerPivot, elapsed)
 	writeScalingRecord(t, T, len(in.Jobs), rule, def, elapsed)
@@ -246,6 +256,11 @@ func TestSolveLPHorizon16kLight(t *testing.T) {
 	}
 	if def.Purged == 0 {
 		t.Error("cut purging never fired at T=16384; lifecycle policy is dead at scale")
+	}
+	if def.ColdFallbacks+fixed.ColdFallbacks != 0 {
+		t.Errorf("warm-start fallback fired (purged %d, fixed-batch %d); verdicts:\n  %s",
+			def.ColdFallbacks, fixed.ColdFallbacks,
+			strings.Join(append(def.FallbackVerdicts, fixed.FallbackVerdicts...), "\n  "))
 	}
 	t.Logf("T=16384 n=%d: obj=%.3f rounds=%d cuts=%d purged=%d pivots=%d refactors=%d",
 		len(in.Jobs), def.Objective, def.Rounds, def.Cuts, def.Purged, def.Pivots, def.Refactors)

@@ -136,15 +136,14 @@ func TestSeparatorIncrementalEquivalence(t *testing.T) {
 				rounds++
 				added := 0
 				for _, A := range inc.separateAll(y, cap) {
-					key := jobSetKey(A)
-					if reg.inMaster(key) {
+					if reg.inMaster(A) {
 						continue
 					}
 					cols, vals, rhs := cutFor(in, A)
 					if err := prob.AddSparse(cols, vals, lp.GE, rhs); err != nil {
 						t.Fatal(err)
 					}
-					reg.add(key, cols, vals, rhs)
+					reg.add(A, cols, vals, rhs)
 					added++
 				}
 				if added == 0 {

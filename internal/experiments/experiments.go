@@ -31,6 +31,11 @@ type Table struct {
 	// and incremental-flow counters (E19); paperbench exports it alongside
 	// Kernel and gates the committed trajectory on the theorem bounds.
 	Approx *ApproxSummary
+	// Delta, when set, digests the run's live-session delta-resolve
+	// counters (E20); paperbench exports it and gates the trajectory on
+	// delta-vs-cold equivalence, zero warm-start fallbacks, and the
+	// headline arrival pivot ratio.
+	Delta *DeltaSummary
 }
 
 // KernelSummary is the deterministic kernel-counter digest of one solve:
@@ -143,6 +148,7 @@ func All() []Runner {
 		{"E17", "LP1 pipeline at large horizons (batched vs single-cut)", E17LPScaling},
 		{"E18", "Pivot-cost scaling of the LU/eta simplex core", E18PivotCost},
 		{"E19", "Approximation gap across families and horizons", E19ApproxGap},
+		{"E20", "Live instance deltas vs cold re-solves", E20DeltaResolve},
 	}
 }
 

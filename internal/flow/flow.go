@@ -15,15 +15,20 @@
 // capacities, so between solves the caller restores state with Reset (every
 // edge back to its reference capacity, all flow discarded) and/or
 // SetCapacity (one edge re-capacitated with its flow cleared, becoming the
-// new reference that later Resets restore). The topology is immutable after
-// construction: AddNode/AddEdge may not be interleaved with solves that
-// expect Reset to restore a consistent state across calls, but adding edges
-// before the first Max and re-capacitating them forever after is the
-// intended pattern — the cut-generation separation oracle and the
-// minimal-feasible closing loop both build their bipartite network once per
-// call and only touch the y-dependent capacities each round. All traversal
-// scratch (BFS queue, DFS path stack, level and iterator arrays) is owned
-// by the Network and reused, so a Reset+Max cycle performs no allocations.
+// new reference that later Resets restore). The common pattern — the
+// cut-generation separation oracle and the minimal-feasible closing loop —
+// builds the network once per call and only touches the y-dependent
+// capacities each round. Topology may also grow between solves:
+// AddNode/AddEdge never renumber existing nodes or invalidate EdgeIDs, a
+// new edge joins carrying zero flow with its given reference capacity, and
+// the traversal scratch resizes on the next Max — the live-session
+// separation network splices arriving jobs and slots into a solved network
+// this way and lets Max route just the new demand. Nodes and edges cannot
+// be removed; detaching a node means re-capacitating its edges to zero
+// (with SetCapacityKeepFlow + PushBack repairs when flow is routed through
+// it). All traversal scratch (BFS queue, DFS path stack, level and iterator
+// arrays) is owned by the Network and reused, so a Reset+Max cycle performs
+// no allocations.
 package flow
 
 // Capacity is the constraint satisfied by capacity types. It is restricted

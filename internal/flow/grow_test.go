@@ -1,0 +1,104 @@
+package flow
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGrowAfterMax locks the mid-life growth contract the live-session
+// separator depends on: nodes and edges added to an already-solved network
+// join with zero flow, existing EdgeIDs and routed flow stay valid, and
+// continuing Max from the residual state reaches the same maximum a fresh
+// network of the final topology finds.
+func TestGrowAfterMax(t *testing.T) {
+	// Bipartite: src(0) → a(1),b(2) → sink(3).
+	g := NewNetwork[float64](4, 1e-12)
+	sa := g.AddEdge(0, 1, 2)
+	sb := g.AddEdge(0, 2, 3)
+	at := g.AddEdge(1, 3, 2)
+	bt := g.AddEdge(2, 3, 1)
+	if got := g.Max(0, 3); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("initial max flow %v, want 3", got)
+	}
+	// Splice in a new middle node c with fresh capacity, plus extra capacity
+	// from b through c.
+	c := g.AddNode()
+	sc := g.AddEdge(0, c, 4)
+	ct := g.AddEdge(c, 3, 4)
+	bc := g.AddEdge(2, c, 0)
+	if f := g.Flow(sc) + g.Flow(ct) + g.Flow(bc); f != 0 {
+		t.Fatalf("fresh edges carry flow %v before any solve", f)
+	}
+	if got := g.Max(0, 3); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("augmentation after growth pushed %v, want 4", got)
+	}
+	for _, e := range []EdgeID[float64]{sa, sb, at, bt, sc, ct} {
+		if g.Flow(e) < -1e-12 || g.Flow(e) > g.Capacity(e)+1e-12 {
+			t.Fatalf("edge flow %v outside [0, %v] after growth", g.Flow(e), g.Capacity(e))
+		}
+	}
+}
+
+// TestGrowAfterMaxRandomized compares grow-then-augment against a fresh
+// build of the final topology on random bipartite networks: the max-flow
+// value (unique across maximum flows) must agree whether the second half
+// of the left nodes arrives before the first solve or after it.
+func TestGrowAfterMaxRandomized(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nLeft := 3 + rng.Intn(5)
+		nRight := 2 + rng.Intn(4)
+		supply := make([]float64, nLeft)
+		demand := make([]float64, nRight)
+		edges := make([][]float64, nLeft) // capacity left→right, 0 = absent
+		for i := range supply {
+			supply[i] = 1 + 3*rng.Float64()
+			edges[i] = make([]float64, nRight)
+			for r := range edges[i] {
+				if rng.Intn(2) == 0 {
+					edges[i][r] = 2 * rng.Float64()
+				}
+			}
+		}
+		for r := range demand {
+			demand[r] = 1 + 2*rng.Float64()
+		}
+		// grown: build with the first half of the left nodes, solve, then
+		// splice in the rest and continue.
+		firstHalf := nLeft / 2
+		build := func(g *Network[float64], sink int, i int, left int) {
+			g.AddEdge(0, left, supply[i])
+			for r := 0; r < nRight; r++ {
+				if edges[i][r] > 0 {
+					g.AddEdge(left, 1+nLeft+r, edges[i][r])
+				}
+			}
+			_ = sink
+		}
+		grown := NewNetwork[float64](2+nLeft+nRight, 1e-12)
+		sink := 1 + nLeft + nRight
+		for r := 0; r < nRight; r++ {
+			grown.AddEdge(1+nLeft+r, sink, demand[r])
+		}
+		for i := 0; i < firstHalf; i++ {
+			build(grown, sink, i, 1+i)
+		}
+		total := grown.Max(0, sink)
+		for i := firstHalf; i < nLeft; i++ {
+			build(grown, sink, i, 1+i)
+		}
+		total += grown.Max(0, sink)
+		// fresh: the full final topology from scratch.
+		fresh := NewNetwork[float64](2+nLeft+nRight, 1e-12)
+		for r := 0; r < nRight; r++ {
+			fresh.AddEdge(1+nLeft+r, sink, demand[r])
+		}
+		for i := 0; i < nLeft; i++ {
+			build(fresh, sink, i, 1+i)
+		}
+		if want := fresh.Max(0, sink); math.Abs(total-want) > 1e-9 {
+			t.Fatalf("seed %d: grown network max flow %v, fresh %v", seed, total, want)
+		}
+	}
+}

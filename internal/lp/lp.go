@@ -130,8 +130,13 @@
 // # Warm-start contract
 //
 // A *Basis returned by ResolveFrom stays valid for the same Problem as long
-// as only new constraint rows are appended (AddSparse/AddDense) or rows
-// strictly slack at the last optimum are removed (RemoveRows, which excises
+// as only new constraint rows are appended (AddSparse/AddDense), new
+// structural columns are appended (AddColumns — the column-space dual of
+// row appends: the live state splices them in nonbasic at their lower
+// bound, reprices them against the persistent dual row at the
+// refactorization the splice schedules, and the usual dual+primal repair
+// absorbs any that price attractively), or rows strictly slack at the last
+// optimum are removed (RemoveRows, which excises
 // them from both the problem and the live state — the primitive behind
 // Benders cut purging) between calls: appended rows enter with their own
 // basic slack, and removing a slack row disturbs neither the remaining
@@ -140,9 +145,13 @@
 // re-optimizes). A warm re-solve falls back to a cold two-phase solve only
 // when the caller passes a nil Basis — which is also what callers must do
 // after any solve that did not end Optimal, since non-optimal solves return
-// no Basis. Adding variables or changing bounds invalidates the basis:
-// ResolveFrom rejects such calls loudly instead of silently solving against
-// stale state, and the caller re-solves cold.
+// no Basis. Changing the bound of a column the basis has already seen
+// still invalidates it (shaping a freshly appended column before its first
+// re-solve is part of the splice, not a change): ResolveFrom rejects such
+// calls loudly instead of silently solving against stale state, and the
+// caller re-solves cold. A warm re-solve that abandons its basis mid-call
+// (crash/cold recovery) reports it in Solution.ColdFallbacks — counted,
+// never silent.
 //
 // The exact rational engine mirrors the contract on a smaller surface:
 // ResolveExactFrom keeps the big.Rat dictionary alive between calls,
@@ -420,6 +429,34 @@ func (p *Problem) upperChanged(snap []float64) (j int, changed bool) {
 	return 0, false
 }
 
+// AddColumns appends k new structural variables with zero objective and
+// infinite upper bound, returning the index of the first one. The caller
+// then shapes them with SetObjective/SetUpper and references them from
+// newly added rows.
+//
+// AddColumns is the column-space dual of appending rows: a basis captured
+// before the call stays warm-startable. ResolveFrom splices the new columns
+// into the live engine state nonbasic at their lower bound, reprices them
+// against the persistent dual row at the refactorization the splice
+// schedules, and lets the usual dual+primal repair absorb them — setting an
+// upper bound on a new column before the next re-solve is part of the
+// splice, not a bound change on a snapshotted column, so it does not trip
+// the warm-start contract's bound check. Columns can never be removed.
+func (p *Problem) AddColumns(k int) int {
+	j0 := p.numVars
+	if k <= 0 {
+		return j0
+	}
+	p.numVars += k
+	p.c = append(p.c, make([]float64, k)...)
+	if p.upper != nil {
+		for i := 0; i < k; i++ {
+			p.upper = append(p.upper, math.Inf(1))
+		}
+	}
+	return j0
+}
+
 // AddSparse adds the constraint sum_k coeffs[k].val * x[coeffs[k].col] rel rhs.
 // Coefficient columns must be valid variable indices; duplicate columns are
 // summed.
@@ -541,6 +578,17 @@ type Solution struct {
 	// hypersparse paths, and dual working-set refills. Like Iterations it
 	// covers exactly the work of the call that produced this solution.
 	Kernel KernelStats
+	// ColdFallbacks is 1 when a warm ResolveFrom abandoned its inherited
+	// basis — the warm dual+primal repair (or its verification) did not end
+	// Optimal and the call recovered through a crash basis or a full cold
+	// solve — and 0 otherwise (cold calls included: a requested cold solve
+	// is not a fallback). The recovery itself is correct and verified; the
+	// counter exists because a warm-path regression that silently degrades
+	// every re-solve to a cold solve costs an order of magnitude and would
+	// otherwise be invisible. FallbackVerdict carries the triggering
+	// verdict (the warm status and the recovery path) for logging.
+	ColdFallbacks   int
+	FallbackVerdict string
 }
 
 // KernelStats counts FTRAN/BTRAN kernel activity. The hypersparse counters
@@ -708,6 +756,8 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 	}
 	var t *revised
 	var status Status
+	coldFallbacks := 0
+	fallbackVerdict := ""
 	budget := maxPivots
 	if prev == nil || prev.t == nil {
 		t, status = coldSolve(p, &budget)
@@ -716,8 +766,8 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 		}
 	} else {
 		t = prev.t
-		if t.n != p.numVars {
-			return nil, nil, fmt.Errorf("lp: basis has %d variables, problem has %d", t.n, p.numVars)
+		if t.n > p.numVars {
+			return nil, nil, fmt.Errorf("lp: basis has %d variables, problem has %d (columns cannot be removed)", t.n, p.numVars)
 		}
 		if t.rowsBuilt > len(p.rows) {
 			return nil, nil, errors.New("lp: problem has fewer rows than the basis (rows were removed)")
@@ -733,13 +783,16 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 		t.pivotsAtCall = t.pivots
 		t.refactorsAtCall = t.refactors
 		t.kstatsAtCall = t.kstats
+		newCols := p.numVars - t.n
+		t.appendProblemCols(p)
 		copy(t.cost[:t.n], p.c) // pick up objective changes since the snapshot
 		t.appendProblemRows(p)
 		// A warm repair of freshly appended rows needs tens of pivots; give
 		// it a budget proportional to the row count rather than the global
 		// ceiling, so a degenerate stall falls back to the (verified) cold
 		// solve quickly instead of grinding the dual for the full budget.
-		if wb := 4*len(p.rows) + 400; wb < budget {
+		// Appended columns each cost at most one primal entering pivot.
+		if wb := 4*len(p.rows) + 4*newCols + 400; wb < budget {
 			budget = wb
 		}
 		status = t.dualIterate(&budget)
@@ -765,7 +818,14 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 			// and ends every other verdict at the two-phase solve, whose
 			// phase-1 result is independent of any prior state.
 			// Iterations still reports every pivot spent in this call —
-			// warm, crash and cold.
+			// warm, crash and cold. The abandonment is counted, never
+			// silent: Solution.ColdFallbacks flags it and FallbackVerdict
+			// names the warm status that triggered it, so callers gating a
+			// warm trajectory (the canonical scaling tests, the delta
+			// sessions) see a warm-path regression as a counter, not as a
+			// quiet 10× slowdown.
+			coldFallbacks = 1
+			warmStatus := status
 			prevPivots := t.pivots - t.pivotsAtCall
 			prevRefactors := t.refactors - t.refactorsAtCall
 			prevKernel := t.kstats.minus(t.kstatsAtCall)
@@ -784,6 +844,7 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 				if st == Optimal {
 					t = tc
 					status = Optimal
+					fallbackVerdict = fmt.Sprintf("warm re-solve ended %v; recovered via crash basis", warmStatus)
 				} else {
 					prevPivots += tc.pivots
 					prevRefactors += tc.refactors
@@ -796,6 +857,7 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 				if status == Optimal {
 					status = t.verifyOptimal(p, &budget)
 				}
+				fallbackVerdict = fmt.Sprintf("warm re-solve ended %v; recovered via cold solve (status %v)", warmStatus, status)
 			}
 			// Accumulate rather than overwrite: coldSolve may itself have
 			// discarded a dual-start attempt into pivotsAtCall already.
@@ -805,10 +867,12 @@ func (p *Problem) ResolveFrom(prev *Basis) (*Solution, *Basis, error) {
 		}
 	}
 	sol := &Solution{
-		Status:     status,
-		Iterations: t.pivots - t.pivotsAtCall,
-		Refactors:  t.refactors - t.refactorsAtCall,
-		Kernel:     t.kstats.minus(t.kstatsAtCall),
+		Status:          status,
+		Iterations:      t.pivots - t.pivotsAtCall,
+		Refactors:       t.refactors - t.refactorsAtCall,
+		Kernel:          t.kstats.minus(t.kstatsAtCall),
+		ColdFallbacks:   coldFallbacks,
+		FallbackVerdict: fallbackVerdict,
 	}
 	if status != Optimal {
 		return sol, nil, nil

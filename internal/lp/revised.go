@@ -2037,6 +2037,77 @@ func (t *revised) growRows() {
 	t.invalidateKernel()
 }
 
+// appendProblemCols incorporates structural columns added to the problem
+// since the state was last solved (Problem.AddColumns). The per-column
+// arrays keep structural columns first, so the whole logical block shifts
+// up by k and every absolute logical column index (basis entries, per-row
+// rowLogs) is remapped; logRow/logSign are indexed relative to n and need
+// no rewrite. The new columns enter nonbasic at their lower bound with the
+// bounds and costs the caller shaped after AddColumns; their reduced costs
+// are derived from the persistent dual row at the refactorization this
+// splice schedules (factorStale), so the next dual/primal pass prices them
+// exactly — a new column appearing in no tight row simply keeps red = c_j,
+// and one that prices attractively is entered by the primal clean-up.
+// Nothing in row space moves: basic values, pricing weights and the dual
+// working set stay valid; only the column-indexed pricing scratch restarts.
+func (t *revised) appendProblemCols(p *Problem) {
+	k := p.numVars - t.n
+	if k <= 0 {
+		return
+	}
+	oldN := t.n
+	oldTotal := len(t.cost)
+	t.growCols(k)
+	// Shift the logical block [oldN, oldTotal) up by k, highest first so the
+	// ranges may overlap. alpha is invariantly zero between pivots, so the
+	// shifted region needs no copy there.
+	for j := oldTotal - 1; j >= oldN; j-- {
+		d := j + k
+		t.cost[d] = t.cost[j]
+		t.upper[d] = t.upper[j]
+		t.curCost[d] = t.curCost[j]
+		t.red[d] = t.red[j]
+		t.atUpper[d] = t.atUpper[j]
+		t.isArt[d] = t.isArt[j]
+		t.inBasis[d] = t.inBasis[j]
+		t.whereBasic[d] = t.whereBasic[j]
+	}
+	for j := oldN; j < oldN+k; j++ {
+		t.cost[j] = p.c[j]
+		u := math.Inf(1)
+		if p.upper != nil {
+			u = p.upper[j]
+		}
+		t.upper[j] = u
+		t.curCost[j] = 0
+		t.red[j] = 0
+		t.atUpper[j] = false
+		t.isArt[j] = false
+		t.inBasis[j] = false
+		t.whereBasic[j] = -1
+		t.probUpper = append(t.probUpper, u)
+	}
+	t.colRows = append(t.colRows, make([][]int32, k)...)
+	t.colVals = append(t.colVals, make([][]float64, k)...)
+	for i := range t.basis {
+		if t.basis[i] >= oldN {
+			t.basis[i] += k
+		}
+	}
+	for _, logs := range t.rowLogs {
+		for idx := range logs {
+			logs[idx] += int32(k) // every rowLogs entry is a logical column
+		}
+	}
+	t.n = p.numVars
+	// Column indices shifted: the partial-pricing candidate list and the
+	// touched-column scratch may hold stale indices.
+	t.candList = t.candList[:0]
+	t.candRotor = 0
+	t.touched = t.touched[:0]
+	t.factorStale = true
+}
+
 // appendProblemRows incorporates rows added to the problem since the state
 // was last solved. Each row gets a fresh slack column that enters the basis
 // immediately, with its value computed from the current structural point,
